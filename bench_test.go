@@ -1,0 +1,416 @@
+// Package ecofl's root benchmark suite regenerates every table and figure
+// of the paper's evaluation (§6) as a testing.B target, reporting the
+// figure's headline quantity as a custom metric. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Mapping (see DESIGN.md's per-experiment index):
+//
+//	Fig. 3  → BenchmarkFig3_ScheduleConstruction
+//	Fig. 4  → BenchmarkFig4_DDB
+//	Fig. 5  → BenchmarkFig5_Configs
+//	Fig. 7  → BenchmarkFig7_Training
+//	Fig. 8  → BenchmarkFig8_Grouping
+//	Fig. 9  → BenchmarkFig9_Lambda
+//	Fig. 10 → BenchmarkFig10_Methods
+//	Fig. 11 → BenchmarkFig11_EpochTime
+//	Fig. 12 → BenchmarkFig12_Partitioning
+//	Fig. 13 → BenchmarkFig13_Migration
+//	Table 2 → BenchmarkTable2_GpipeVs1F1B
+package ecofl
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecofl/internal/data"
+	"ecofl/internal/device"
+	"ecofl/internal/experiments"
+	"ecofl/internal/fl"
+	"ecofl/internal/model"
+	"ecofl/internal/nn"
+	"ecofl/internal/partition"
+	"ecofl/internal/pipeline"
+	"ecofl/internal/pipeline/runtime"
+	"ecofl/internal/tensor"
+)
+
+func bigDev(rate float64) *device.Device {
+	return &device.Device{Name: "bench", ComputeRate: rate, MemoryBytes: 1 << 40,
+		LinkBandwidth: device.Bandwidth100Mbps, LoadFactor: 1}
+}
+
+// BenchmarkFig3_ScheduleConstruction times building the 1F1B-Sync schedule
+// of Fig. 3 (3 stages, M = 8) and reports its sync-round throughput.
+func BenchmarkFig3_ScheduleConstruction(b *testing.B) {
+	spec := model.EfficientNet(1)
+	devs := []*device.Device{device.TX2Q(), device.NanoH(), device.NanoH()}
+	plan, err := partition.DynamicProgrammingBatch(spec, devs, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := &pipeline.Config{Spec: spec, Stages: plan.Stages, MicroBatchSize: 8, NumMicroBatches: 8}
+	var res *pipeline.Result
+	for i := 0; i < b.N; i++ {
+		res, err = pipeline.Schedule(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Throughput, "samples/s")
+}
+
+// BenchmarkFig4_DDB builds the Fig. 4 scenario — a memory-capped front
+// stage forcing data-dependency bubbles — and reports the DDB share.
+func BenchmarkFig4_DDB(b *testing.B) {
+	spec := model.EfficientNet(6)
+	devs := []*device.Device{device.NanoH(), device.TX2Q(), device.NanoH()}
+	plan, err := partition.DynamicProgrammingBatch(spec, devs, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := &pipeline.Config{Spec: spec, Stages: plan.Stages, MicroBatchSize: 16, NumMicroBatches: 8}
+	var res *pipeline.Result
+	for i := 0; i < b.N; i++ {
+		res, err = pipeline.Schedule(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.DDB[0]/res.RoundTime*100, "ddb-share-%")
+	b.ReportMetric(float64(res.Ks[0]), "K0")
+	b.ReportMetric(float64(res.Ps[0]), "P0")
+}
+
+// BenchmarkFig5_Configs reruns the three Fig. 5 configurations and reports
+// the winner's margin over the worst configuration.
+func BenchmarkFig5_Configs(b *testing.B) {
+	var rows []experiments.Fig5Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Throughput, "configA-samples/s")
+	b.ReportMetric(rows[0].Throughput/rows[2].Throughput, "A-over-C")
+}
+
+// BenchmarkFig7_Training runs a miniature Fig. 7 Eco-FL training session
+// (real model updates on virtual time) per iteration.
+func BenchmarkFig7_Training(b *testing.B) {
+	scale := experiments.Scale{Clients: 20, DatasetSize: 1200, Duration: 400,
+		EvalInterval: 100, MaxConcurrent: 10, LocalEpochs: 1}
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		sets := experiments.Fig7(int64(i+1), scale)
+		acc = sets[0].Runs[len(sets[0].Runs)-1].BestAccuracy
+	}
+	b.ReportMetric(acc, "ecofl-accuracy")
+}
+
+// BenchmarkFig8_Grouping times the Eq. 4 adaptive grouping of 300 clients.
+func BenchmarkFig8_Grouping(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ds := data.MNISTLike(rng, 3000)
+	shards := data.PartitionByClasses(rng, ds, 300, 2)
+	pop := fl.NewPopulation(rng, shards, ds.X, ds.Y, fl.Config{Seed: 1})
+	gr := &fl.Grouper{Lambda: 500, RT: 15, NumClasses: 10}
+	b.ResetTimer()
+	var js float64
+	for i := 0; i < b.N; i++ {
+		groups := gr.InitialGrouping(rand.New(rand.NewSource(int64(i))), pop.Clients, 5)
+		js = fl.AvgGroupJS(groups, 10)
+	}
+	b.ReportMetric(js, "avg-group-JS")
+}
+
+// BenchmarkFig9_Lambda evaluates the Eq. 4 cost at the λ-sweep endpoints
+// over a full client pool.
+func BenchmarkFig9_Lambda(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	ds := data.MNISTLike(rng, 3000)
+	shards := data.PartitionByClasses(rng, ds, 300, 2)
+	pop := fl.NewPopulation(rng, shards, ds.X, ds.Y, fl.Config{Seed: 2})
+	g := fl.NewGroup(0, 10, 40)
+	g.Add(pop.Clients[0])
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for _, lambda := range experiments.Fig9Lambdas {
+			gr := &fl.Grouper{Lambda: lambda, RT: 1e9, NumClasses: 10}
+			for _, c := range pop.Clients {
+				sink += gr.Cost(g, c)
+			}
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkFig10_Methods reruns the four-panel method comparison and
+// reports the MobileNet-W3 pipeline-over-DP speedup (the paper's 2.6×).
+func BenchmarkFig10_Methods(b *testing.B) {
+	var panels []experiments.Panel
+	var err error
+	for i := 0; i < b.N; i++ {
+		panels, err = experiments.Fig10(2000, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	w3 := panels[3]
+	var dp, pipe float64
+	for _, m := range w3.Methods {
+		switch m.Method {
+		case "Data Parallelism":
+			dp = m.Throughput
+		case "Eco-FL Pipeline":
+			pipe = m.Throughput
+		}
+	}
+	b.ReportMetric(pipe/dp, "pipe-over-DP")
+}
+
+// BenchmarkFig11_EpochTime reports the Eco-FL pipeline epoch time on
+// EfficientNet-B4 @ Pipeline-3 (the Fig. 11 bar the paper highlights).
+func BenchmarkFig11_EpochTime(b *testing.B) {
+	var panels []experiments.Panel
+	var err error
+	for i := 0; i < b.N; i++ {
+		panels, err = experiments.Fig10(2000, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, m := range panels[2].Methods {
+		if m.Method == "Eco-FL Pipeline" {
+			b.ReportMetric(m.EpochTime, "epoch-s")
+		}
+	}
+}
+
+// BenchmarkFig12_Partitioning times both partitioners and reports our
+// throughput advantage over PipeDream's uniform split.
+func BenchmarkFig12_Partitioning(b *testing.B) {
+	var rows []experiments.Fig12Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[1].Throughput/rows[0].Throughput, "ours-over-pipedream")
+}
+
+// BenchmarkFig13_Migration runs the full load-spike timeline (with and
+// without the scheduler) per iteration and reports the recovery ratio.
+func BenchmarkFig13_Migration(b *testing.B) {
+	var r *experiments.Fig13Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	with := r.With.Samples[len(r.With.Samples)-1].Throughput
+	without := r.Without.Samples[len(r.Without.Samples)-1].Throughput
+	b.ReportMetric(with/without, "recovery-ratio")
+}
+
+// BenchmarkTable2_GpipeVs1F1B regenerates the memory/utilization table and
+// reports 1F1B's stage-0 memory saving over GPipe at mbs = 8.
+func BenchmarkTable2_GpipeVs1F1B(b *testing.B) {
+	var rows []experiments.Table2Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var gpipe6, ours8 experiments.Table2Row
+	for _, r := range rows {
+		if r.Strategy == "Gpipe (mbs=8)" && r.NumMicro == 6 {
+			gpipe6 = r
+		}
+		if r.Strategy == "Ours (mbs=8)" && r.NumMicro == 8 {
+			ours8 = r
+		}
+	}
+	b.ReportMetric(ours8.PeakMemGB[0]/gpipe6.PeakMemGB[0], "mem-ratio-vs-gpipe")
+}
+
+// ---------------------------------------------------------------- ablations
+
+// BenchmarkAblation_PsRule compares the comm-aware residency rule
+// (P_s = 2(S−s)−1 flavored, Eq. 3) against the no-comm rule P_s = S−s on a
+// comm-heavy pipeline, reporting the throughput advantage — the design
+// choice DESIGN.md calls out.
+func BenchmarkAblation_PsRule(b *testing.B) {
+	spec := model.EfficientNet(1) // large front activations → real comm
+	devs := []*device.Device{bigDev(300e9), bigDev(300e9), bigDev(300e9)}
+	plan, err := partition.DynamicProgrammingBatch(spec, devs, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full := &pipeline.Config{Spec: spec, Stages: plan.Stages, MicroBatchSize: 8, NumMicroBatches: 12}
+	var eq3, naive float64
+	for i := 0; i < b.N; i++ {
+		res, err := pipeline.Schedule(full)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eq3 = res.Throughput
+		// The naive rule caps residency at S−s by shrinking memory… we
+		// emulate it by scheduling with GPipe-free residency and comparing
+		// against an S−s-capped variant via AsyncSteadyThroughput's bound.
+		naiveRes := scheduleWithResidency(b, full, func(s, stages int) int { return stages - s })
+		naive = naiveRes.Throughput
+	}
+	b.ReportMetric(eq3/naive, "eq3-over-naive")
+}
+
+// scheduleWithResidency schedules a config whose devices' memory has been
+// sized to cap each stage's residency at cap(s, S) micro-batches.
+func scheduleWithResidency(b *testing.B, cfg *pipeline.Config, cap func(s, stages int) int) *pipeline.Result {
+	b.Helper()
+	stages := make([]pipeline.Stage, len(cfg.Stages))
+	copy(stages, cfg.Stages)
+	for s := range stages {
+		d := stages[s].Device.Clone()
+		per := cfg.Spec.SegmentResidentBytes(stages[s].From, stages[s].To) * float64(cfg.MicroBatchSize)
+		params := cfg.Spec.SegmentParamBytes(stages[s].From, stages[s].To) * pipeline.ParamMemFactor
+		d.MemoryBytes = int64(pipeline.BaseOverheadBytes + params + per*float64(cap(s, len(stages)))*1.01)
+		stages[s].Device = d
+	}
+	capped := *cfg
+	capped.Stages = stages
+	res, err := pipeline.Schedule(&capped)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkAblation_GroupingLambdaEndpoints quantifies the Eq. 4 claim that
+// λ = 0 degenerates to FedAT and λ → ∞ to Astraea, reporting the JS gap
+// between the endpoints on one grouping pass.
+func BenchmarkAblation_GroupingLambdaEndpoints(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	ds := data.MNISTLike(rng, 2000)
+	shards := data.PartitionByClasses(rng, ds, 100, 2)
+	pop := fl.NewPopulation(rng, shards, ds.X, ds.Y, fl.Config{Seed: 3})
+	b.ResetTimer()
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		seed := rand.New(rand.NewSource(int64(i)))
+		lat := (&fl.Grouper{Lambda: 0, RT: 1e9, NumClasses: 10}).InitialGrouping(seed, pop.Clients, 5)
+		bal := (&fl.Grouper{Lambda: 1e6, RT: 1e9, NumClasses: 10}).InitialGrouping(seed, pop.Clients, 5)
+		gap = fl.AvgGroupJS(lat, 10) - fl.AvgGroupJS(bal, 10)
+	}
+	b.ReportMetric(gap, "JS-gap")
+}
+
+// BenchmarkPipelineRuntime_TrainSyncRound measures the real goroutine
+// pipeline executing genuine forward/backward math (the prototype path).
+func BenchmarkPipelineRuntime_TrainSyncRound(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	tr := model.NewTrainableMLP(rng, "bench", 64, []int{128, 96, 64}, 10)
+	p, err := runtime.New(tr, []int{1, 2, 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, 64*64)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	labels := make([]int, 64)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	xt := tensor.FromSlice(x, 64, 64)
+	opt := &nn.SGD{LR: 0.01}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.TrainSyncRound(xt, labels, 16, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(64*b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// BenchmarkAblation_GuidedSelection compares Oort-style utility-based
+// client selection against uniform sampling inside Eco-FL's groups,
+// reporting the accuracy delta on a short non-IID run.
+func BenchmarkAblation_GuidedSelection(b *testing.B) {
+	mk := func(seed int64) *fl.Population {
+		rng := rand.New(rand.NewSource(seed))
+		ds := data.FashionLike(rng, 1500)
+		_, test := ds.Split(0.85)
+		shards := data.PartitionByClasses(rng, ds, 24, 2)
+		tx, ty := test.Materialize()
+		return fl.NewPopulation(rng, shards, tx, ty, fl.Config{
+			Seed: seed, MaxConcurrent: 12, LocalEpochs: 1, BatchSize: 10,
+			LR: 0.05, Mu: 0.05, Alpha: 0.5, Lambda: 300, NumGroups: 4,
+			RTThreshold: 20, Duration: 500, EvalInterval: 100,
+		})
+	}
+	var guided, uniform float64
+	for i := 0; i < b.N; i++ {
+		g := fl.RunHierarchical(mk(int64(i+1)), fl.HierOptions{Grouping: fl.GroupEcoFL, GuidedSelection: true})
+		u := fl.RunHierarchical(mk(int64(i+1)), fl.HierOptions{Grouping: fl.GroupEcoFL})
+		guided, uniform = g.BestAccuracy, u.BestAccuracy
+	}
+	b.ReportMetric(guided, "guided-acc")
+	b.ReportMetric(uniform, "uniform-acc")
+}
+
+// BenchmarkAblation_Recompute measures the activation-checkpointing
+// trade-off: memory saving versus throughput cost on EfficientNet-B4.
+func BenchmarkAblation_Recompute(b *testing.B) {
+	spec := model.EfficientNet(4)
+	devs := []*device.Device{bigDev(300e9), bigDev(300e9)}
+	plan, err := partition.DynamicProgrammingBatch(spec, devs, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var plain, ckpt *pipeline.Result
+	for i := 0; i < b.N; i++ {
+		cfg := &pipeline.Config{Spec: spec, Stages: plan.Stages, MicroBatchSize: 8, NumMicroBatches: 8}
+		plain, err = pipeline.Schedule(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rcfg := *cfg
+		rcfg.Recompute = true
+		ckpt, err = pipeline.Schedule(&rcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(ckpt.PeakMemoryBytes[0]/plain.PeakMemoryBytes[0], "mem-ratio")
+	b.ReportMetric(ckpt.Throughput/plain.Throughput, "throughput-ratio")
+}
+
+// BenchmarkAblation_OrderSearch quantifies the device-order search (§4.3):
+// best-found throughput over the fixed given order.
+func BenchmarkAblation_OrderSearch(b *testing.B) {
+	spec := model.EfficientNet(6)
+	devs := []*device.Device{device.NanoH(), device.TX2Q(), device.NanoH()}
+	var searched, fixed *partition.Orchestration
+	var err error
+	for i := 0; i < b.N; i++ {
+		searched, err = partition.Orchestrate(spec, devs, partition.Options{NumMicroBatches: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fixed, err = partition.Orchestrate(spec, devs, partition.Options{NumMicroBatches: 8, FixedOrder: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(searched.Result.Throughput/fixed.Result.Throughput, "search-gain")
+}

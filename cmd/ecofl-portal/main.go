@@ -1,0 +1,105 @@
+// Command ecofl-portal runs one Eco-FL participant (a smart home's portal
+// node): it deterministically derives its local non-IID data shard from the
+// shared dataset seed, trains the global model through a local 1F1B-Sync
+// pipeline whose stages exchange tensors over real TCP loopback connections
+// (the in-home device links), and pushes updates to an ecofl-server.
+//
+//	ecofl-portal --server 127.0.0.1:9000 --id 0 --of 4 --rounds 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ecofl/internal/data"
+	"ecofl/internal/flnet"
+	"ecofl/internal/model"
+	"ecofl/internal/nn"
+	"ecofl/internal/pipeline/runtime"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:9000", "ecofl-server address")
+	id := flag.Int("id", 0, "portal id (selects the data shard)")
+	of := flag.Int("of", 4, "total number of portals (shard count)")
+	rounds := flag.Int("rounds", 10, "pull/train/push rounds")
+	stages := flag.Int("stages", 3, "pipeline stages (in-home devices)")
+	mbs := flag.Int("mbs", 8, "micro-batch size")
+	batch := flag.Int("batch", 32, "mini-batch size per sync-round")
+	lr := flag.Float64("lr", 0.05, "learning rate")
+	mu := flag.Float64("mu", 0.05, "FedProx proximal coefficient")
+	epochs := flag.Int("epochs", 2, "local epochs per round")
+	dim := flag.Int("dim", 32, "model input dimension")
+	hidden := flag.Int("hidden", 64, "model hidden width")
+	classes := flag.Int("classes", 10, "number of classes")
+	modelSeed := flag.Int64("model-seed", 1, "global model init seed (must match server)")
+	dataSeed := flag.Int64("data-seed", 7, "dataset seed (must match server)")
+	datasetSize := flag.Int("dataset-size", 4000, "synthetic dataset size")
+	quantize := flag.Bool("quantize", false, "push int8-quantized updates (8x smaller uplink)")
+	flag.Parse()
+
+	if *id < 0 || *id >= *of {
+		log.Fatalf("ecofl-portal: id %d out of range [0,%d)", *id, *of)
+	}
+	// Derive this portal's non-IID shard (2 classes, §6.1).
+	rng := rand.New(rand.NewSource(*dataSeed))
+	ds := data.MNISTLike(rng, *datasetSize)
+	shards := data.PartitionByClasses(rng, ds, *of, 2)
+	shard := shards[*id]
+
+	// The trainable must match the server's architecture exactly; hidden
+	// widths are split across pipeline stages.
+	widths := []int{*hidden}
+	tr := model.NewTrainableMLP(rand.New(rand.NewSource(*modelSeed)), "portal", *dim, widths, *classes)
+	cuts := make([]int, 0, *stages-1)
+	for c := 1; c < len(tr.Blocks) && len(cuts) < *stages-1; c++ {
+		cuts = append(cuts, c)
+	}
+	pipe, err := runtime.NewDistributed(tr, cuts, runtime.TCPLinks())
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("ecofl-portal %d: shard %d samples, %d-stage pipeline, server %s",
+		*id, shard.Len(), pipe.NumStages(), *server)
+
+	client, err := flnet.Dial(*server, *id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	w, version, err := client.Pull()
+	if err != nil {
+		log.Fatal(err)
+	}
+	lrng := rand.New(rand.NewSource(int64(1000 + *id)))
+	for round := 1; round <= *rounds; round++ {
+		pipe.Network().SetFlatWeights(w)
+		opt := &nn.SGD{LR: *lr, Mu: *mu, Global: w}
+		var loss float64
+		n := 0
+		for e := 0; e < *epochs; e++ {
+			for _, b := range shard.Batches(lrng, *batch) {
+				l, err := pipe.TrainSyncRound(b.X, b.Y, *mbs, opt)
+				if err != nil {
+					log.Fatal(err)
+				}
+				loss += l
+				n++
+			}
+		}
+		if *quantize {
+			w, version, err = client.PushQuantized(pipe.Network().FlatWeights(), shard.Len(), version)
+		} else {
+			w, version, err = client.Push(pipe.Network().FlatWeights(), shard.Len(), version)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("ecofl-portal %d: round %d/%d, local loss %.4f, global v%d",
+			*id, round, *rounds, loss/float64(n), version)
+	}
+	fmt.Printf("portal %d done after %d rounds (global v%d)\n", *id, *rounds, version)
+}

@@ -1,0 +1,495 @@
+// Command ecofl regenerates the tables and figures of the Eco-FL paper
+// (ICPP '22) from this repository's implementation.
+//
+// Usage:
+//
+//	ecofl fl --experiment {fig7|fig8|fig9} [--scale quick|full] [--seed N]
+//	ecofl pipeline --experiment {fig5|fig10|fig11|fig12|fig13|table2}
+//	ecofl pipeline --show-schedule     # Fig. 3-style 1F1B-Sync Gantt chart
+//	ecofl all [--scale quick]          # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ecofl/internal/adaptive"
+
+	"ecofl/internal/device"
+	"ecofl/internal/experiments"
+	"ecofl/internal/model"
+	"ecofl/internal/partition"
+	"ecofl/internal/pipeline"
+	"ecofl/internal/plot"
+	"ecofl/internal/trace"
+)
+
+// writeCurveSVGs renders one accuracy-vs-time SVG per curve panel.
+func writeCurveSVGs(dir, prefix string, sets []experiments.CurveSet) error {
+	if dir == "" {
+		return nil
+	}
+	for _, set := range sets {
+		series := experiments.CurvesToSeries(prefix, []experiments.CurveSet{set})
+		chart, err := plot.CurveChart(set.Dataset, "time_s", "accuracy", series)
+		if err != nil {
+			return err
+		}
+		name := strings.ReplaceAll(strings.ToLower(prefix+"_"+set.Dataset), " ", "-")
+		name = strings.ReplaceAll(name, "@", "at")
+		if err := plot.WriteFile(dir, name, chart); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d SVG charts to %s\n", len(sets), dir)
+	return nil
+}
+
+// writeCSV exports series to dir when dir is non-empty.
+func writeCSV(dir string, series []*trace.Series) error {
+	if dir == "" {
+		return nil
+	}
+	if err := trace.WriteDir(dir, series...); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d CSV series to %s\n", len(series), dir)
+	return nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "fl":
+		err = cmdFL(os.Args[2:])
+	case "pipeline":
+		err = cmdPipeline(os.Args[2:])
+	case "all":
+		err = cmdAll(os.Args[2:])
+	case "partition":
+		err = cmdPartition(os.Args[2:])
+	case "headlines":
+		err = cmdHeadlines(os.Args[2:])
+	case "devices":
+		err = cmdDevices()
+	case "migrate":
+		err = cmdMigrate(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecofl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ecofl <command> [flags]
+
+commands:
+  fl         --experiment {fig7|fig8|fig9} [--scale quick|full] [--seed N]
+  pipeline   --experiment {fig5|fig10|fig11|fig12|fig13|table2} | --show-schedule
+  partition  --model {effnet-bN|mobilenet-wX} --devices A,B,C [--mbs N] [--m M]
+  headlines  [--scale quick|full]
+  devices    (print the Table 1 device presets)
+  migrate    --model M --devices A,B,C --spike-device N --load F
+  all        [--scale quick|full]`)
+}
+
+func scaleByName(name string) experiments.Scale {
+	if name == "full" {
+		return experiments.Full
+	}
+	return experiments.Quick
+}
+
+func cmdFL(args []string) error {
+	fs := flag.NewFlagSet("fl", flag.ExitOnError)
+	exp := fs.String("experiment", "fig7", "fig7, fig8 or fig9")
+	scale := fs.String("scale", "quick", "quick or full")
+	seed := fs.Int64("seed", 1, "random seed")
+	csvDir := fs.String("csv", "", "directory for CSV export (optional)")
+	svgDir := fs.String("svg", "", "directory for SVG charts (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc := scaleByName(*scale)
+	switch *exp {
+	case "fig7":
+		sets := experiments.Fig7(*seed, sc)
+		experiments.PrintCurves(os.Stdout, sets)
+		if err := writeCurveSVGs(*svgDir, "fig7", sets); err != nil {
+			return err
+		}
+		return writeCSV(*csvDir, experiments.CurvesToSeries("fig7", sets))
+	case "fig8":
+		sets := experiments.Fig8(*seed, sc)
+		experiments.PrintCurves(os.Stdout, sets)
+		if err := writeCurveSVGs(*svgDir, "fig8", sets); err != nil {
+			return err
+		}
+		return writeCSV(*csvDir, experiments.CurvesToSeries("fig8", sets))
+	case "fig9":
+		rows := experiments.Fig9(*seed, sc)
+		experiments.PrintFig9(os.Stdout, rows)
+		if *svgDir != "" {
+			series := experiments.Fig9ToSeries(rows)[0]
+			for _, col := range []string{"avg_js", "avg_latency_s", "best_acc"} {
+				chart := &plot.Chart{Title: "Fig. 9 — " + col + " vs lambda", XLabel: "lambda", YLabel: col}
+				if err := chart.AddSeries(col, series, "lambda", col); err != nil {
+					return err
+				}
+				if err := plot.WriteFile(*svgDir, "fig9_"+col, chart); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintf(os.Stderr, "wrote 3 SVG charts to %s\n", *svgDir)
+		}
+		return writeCSV(*csvDir, experiments.Fig9ToSeries(rows))
+	default:
+		return fmt.Errorf("unknown fl experiment %q", *exp)
+	}
+}
+
+func cmdPipeline(args []string) error {
+	fs := flag.NewFlagSet("pipeline", flag.ExitOnError)
+	exp := fs.String("experiment", "", "fig5, fig10, fig11, fig12, fig13 or table2")
+	show := fs.Bool("show-schedule", false, "print a Fig. 3-style 1F1B-Sync schedule")
+	csvDir := fs.String("csv", "", "directory for CSV export (optional)")
+	svgDir := fs.String("svg", "", "directory for SVG charts (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *show {
+		return showSchedule()
+	}
+	switch *exp {
+	case "fig5":
+		rows, err := experiments.Fig5()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig5(os.Stdout, rows)
+		return writeCSV(*csvDir, experiments.Fig5ToSeries(rows))
+	case "fig10", "fig11":
+		panels, err := experiments.Fig10(2000, 20)
+		if err != nil {
+			return err
+		}
+		experiments.PrintPanels(os.Stdout, panels)
+		if *svgDir != "" {
+			for _, panel := range panels {
+				bars := &plot.BarChart{Title: "Fig. 11 — " + panel.Setting, XLabel: "epoch time (s)"}
+				for _, meth := range panel.Methods {
+					bars.Bars = append(bars.Bars, plot.Bar{Label: meth.Method, Value: meth.EpochTime})
+				}
+				name := strings.ToLower(strings.NewReplacer(" ", "-", "@", "at").Replace("fig11_" + panel.Setting))
+				if err := plot.WriteBarFile(*svgDir, name, bars); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d SVG charts to %s\n", len(panels), *svgDir)
+		}
+		return writeCSV(*csvDir, experiments.PanelsToSeries(panels))
+	case "fig12":
+		rows, err := experiments.Fig12()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig12(os.Stdout, rows)
+		return writeCSV(*csvDir, experiments.Fig12ToSeries(rows))
+	case "fig13":
+		r, err := experiments.Fig13()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig13(os.Stdout, r)
+		if *csvDir != "" || *svgDir != "" {
+			series := experiments.Fig13ToSeries(r)
+			if *svgDir != "" {
+				chart := &plot.Chart{Title: "Fig. 13 — throughput under load spike", XLabel: "time_s", YLabel: "throughput"}
+				for _, sr := range series {
+					if err := chart.AddSeries(sr.Name, sr, "time_s", "throughput"); err != nil {
+						return err
+					}
+				}
+				if err := plot.WriteFile(*svgDir, "fig13_throughput", chart); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "wrote 1 SVG chart to %s\n", *svgDir)
+			}
+			return writeCSV(*csvDir, series)
+		}
+		return nil
+	case "table2":
+		rows, err := experiments.Table2()
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable2(os.Stdout, rows)
+		return writeCSV(*csvDir, experiments.Table2ToSeries(rows))
+	default:
+		return fmt.Errorf("unknown pipeline experiment %q", *exp)
+	}
+}
+
+// showSchedule prints the Fig. 3 illustration: a 3-stage 1F1B-Sync
+// sync-round as an ASCII Gantt chart (digits = forward, letters = backward).
+func showSchedule() error {
+	spec := model.EfficientNet(1)
+	devs := []*device.Device{device.TX2Q(), device.NanoH(), device.NanoH()}
+	plan, err := partition.DynamicProgramming(spec, devs)
+	if err != nil {
+		return err
+	}
+	cfg := &pipeline.Config{Spec: spec, Stages: plan.Stages, MicroBatchSize: 8, NumMicroBatches: 8}
+	res, err := pipeline.Schedule(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("1F1B-Sync sync-round on %s: M=%d, round=%.2fs, throughput=%.1f samples/s, K=%v\n",
+		spec.Name, cfg.NumMicroBatches, res.RoundTime, res.Throughput, res.Ks)
+	fmt.Print(res.RenderGantt(110))
+	return nil
+}
+
+// cmdPartition is a planning utility: partition a named model over a
+// device list and print the plan plus its predicted 1F1B-Sync schedule.
+func cmdPartition(args []string) error {
+	fs := flag.NewFlagSet("partition", flag.ExitOnError)
+	modelName := fs.String("model", "effnet-b4", "effnet-bN or mobilenet-wX")
+	devNames := fs.String("devices", "TX2-Q,Nano-H,Nano-H", "comma-separated Table 1 device names, pipeline order")
+	mbs := fs.Int("mbs", 8, "micro-batch size")
+	m := fs.Int("m", 8, "micro-batches per sync-round")
+	search := fs.Bool("search", false, "also search device order and micro-batch size (§4.3)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := specByName(*modelName)
+	if err != nil {
+		return err
+	}
+	var devs []*device.Device
+	for _, name := range strings.Split(*devNames, ",") {
+		d, err := device.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		devs = append(devs, d)
+	}
+	if *search {
+		o, err := partition.Orchestrate(spec, devs, partition.Options{NumMicroBatches: *m})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("best orchestration (mbs=%d, DDB-free=%v):\n", o.MicroBatchSize, o.SatisfiesP)
+		printPlanResult(spec, o.Config.Stages, o.Result)
+		return nil
+	}
+	plan, err := partition.DynamicProgrammingBatch(spec, devs, *mbs)
+	if err != nil {
+		return err
+	}
+	cfg := &pipeline.Config{Spec: spec, Stages: plan.Stages, MicroBatchSize: *mbs, NumMicroBatches: *m}
+	res, err := pipeline.Schedule(cfg)
+	if err != nil {
+		return err
+	}
+	printPlanResult(spec, plan.Stages, res)
+	return nil
+}
+
+func printPlanResult(spec *model.Spec, stages []pipeline.Stage, res *pipeline.Result) {
+	fmt.Printf("model: %s\n", spec)
+	for s, st := range stages {
+		fmt.Printf("  stage %d on %-7s layers [%2d,%2d)  %6.2f GFLOPs  %5.1f MB params\n",
+			s, st.Device.Name, st.From, st.To,
+			spec.SegmentFwdFLOPs(st.From, st.To)/1e9, spec.SegmentParamBytes(st.From, st.To)/1e6)
+	}
+	fmt.Printf("throughput %.2f samples/s, round %.2fs, K=%v P=%v\n", res.Throughput, res.RoundTime, res.Ks, res.Ps)
+	fmt.Print(res.RenderGantt(100))
+}
+
+// specByName parses "effnet-b4" / "mobilenet-w2.5" style model names.
+func specByName(name string) (*model.Spec, error) {
+	switch {
+	case strings.HasPrefix(name, "effnet-b"):
+		var b int
+		if _, err := fmt.Sscanf(name, "effnet-b%d", &b); err != nil {
+			return nil, fmt.Errorf("bad model %q", name)
+		}
+		return model.EfficientNet(b), nil
+	case strings.HasPrefix(name, "mobilenet-w"):
+		var w float64
+		if _, err := fmt.Sscanf(name, "mobilenet-w%g", &w); err != nil {
+			return nil, fmt.Errorf("bad model %q", name)
+		}
+		return model.MobileNetV2(w), nil
+	case name == "fedavg-cnn":
+		return model.FedAvgCNN(), nil
+	}
+	return nil, fmt.Errorf("unknown model %q (effnet-bN, mobilenet-wX, fedavg-cnn)", name)
+}
+
+// cmdMigrate runs a what-if for §4.4's adaptive re-scheduling: apply an
+// external load to one device of a pipeline and report the migration the
+// scheduler would perform and the throughput it recovers.
+func cmdMigrate(args []string) error {
+	fs := flag.NewFlagSet("migrate", flag.ExitOnError)
+	modelName := fs.String("model", "effnet-b4", "effnet-bN or mobilenet-wX")
+	devNames := fs.String("devices", "Nano-H,TX2-Q,Nano-H", "device order")
+	spikeDev := fs.Int("spike-device", 1, "index of the loaded device")
+	load := fs.Float64("load", 0.35, "remaining training share on the loaded device")
+	mbs := fs.Int("mbs", 8, "micro-batch size")
+	m := fs.Int("m", 8, "micro-batches per sync-round")
+	restart := fs.Float64("restart", 2.0, "pipeline restart overhead (s)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := specByName(*modelName)
+	if err != nil {
+		return err
+	}
+	var devs []*device.Device
+	for _, name := range strings.Split(*devNames, ",") {
+		d, err := device.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		devs = append(devs, d)
+	}
+	if *spikeDev < 0 || *spikeDev >= len(devs) {
+		return fmt.Errorf("spike device %d out of range", *spikeDev)
+	}
+	plan, err := partition.DynamicProgrammingBatch(spec, devs, *mbs)
+	if err != nil {
+		return err
+	}
+	cfg := &pipeline.Config{Spec: spec, Stages: plan.Stages, MicroBatchSize: *mbs, NumMicroBatches: *m}
+	healthy, err := pipeline.Schedule(cfg)
+	if err != nil {
+		return err
+	}
+	devs[*spikeDev].LoadFactor = *load
+	degraded, err := pipeline.Schedule(cfg)
+	if err != nil {
+		return err
+	}
+	mig, recovered, err := adaptive.Reschedule(spec, plan.Stages, *mbs, *m, *restart)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("healthy:   %7.2f samples/s\n", healthy.Throughput)
+	fmt.Printf("degraded:  %7.2f samples/s (%s at %.0f%% capacity)\n",
+		degraded.Throughput, devs[*spikeDev].Name, *load*100)
+	fmt.Printf("migration: %.1f MB of parameters, %.1f s downtime\n",
+		mig.MovedParamBytes/1e6, mig.MigrationTime)
+	fmt.Printf("recovered: %7.2f samples/s (%.0f%% of healthy, mbs=%d)\n",
+		recovered.Throughput, recovered.Throughput/healthy.Throughput*100,
+		recovered.Config.MicroBatchSize)
+	fmt.Println("new layout:")
+	for i, st := range mig.New {
+		fmt.Printf("  stage %d on %-7s layers [%2d,%2d)\n", i, st.Device.Name, st.From, st.To)
+	}
+	return nil
+}
+
+// cmdDevices prints the Table 1 device presets this simulator models.
+func cmdDevices() error {
+	fmt.Printf("%-8s %14s %12s %14s %16s\n", "device", "compute", "memory", "bandwidth", "saturation batch")
+	for _, name := range []string{"Nano-L", "Nano-H", "TX2-Q", "TX2-N"} {
+		d, err := device.ByName(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %11.0f GF/s %9.1f GB %11.1f MB/s %16.0f\n",
+			d.Name, d.ComputeRate/1e9, float64(d.MemoryBytes)/1e9, d.LinkBandwidth/1e6, d.SaturationBatch)
+	}
+	return nil
+}
+
+// cmdHeadlines recomputes the paper's abstract claims.
+func cmdHeadlines(args []string) error {
+	fs := flag.NewFlagSet("headlines", flag.ExitOnError)
+	scale := fs.String("scale", "quick", "quick or full")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	h, err := experiments.ComputeHeadlines(*seed, scaleByName(*scale))
+	if err != nil {
+		return err
+	}
+	experiments.PrintHeadlines(os.Stdout, h)
+	return nil
+}
+
+func cmdAll(args []string) error {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	scale := fs.String("scale", "quick", "quick or full")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc := scaleByName(*scale)
+
+	section := func(s string) { fmt.Printf("\n######## %s ########\n", s) }
+	section("Fig. 5 — device order and micro-batch size")
+	rows5, err := experiments.Fig5()
+	if err != nil {
+		return err
+	}
+	experiments.PrintFig5(os.Stdout, rows5)
+
+	section("Figs. 10/11 — training methods")
+	panels, err := experiments.Fig10(2000, 20)
+	if err != nil {
+		return err
+	}
+	experiments.PrintPanels(os.Stdout, panels)
+
+	section("Fig. 12 — workload partitioning")
+	rows12, err := experiments.Fig12()
+	if err != nil {
+		return err
+	}
+	experiments.PrintFig12(os.Stdout, rows12)
+
+	section("Table 2 — 1F1B-Sync vs GPipe")
+	rowsT2, err := experiments.Table2()
+	if err != nil {
+		return err
+	}
+	experiments.PrintTable2(os.Stdout, rowsT2)
+
+	section("Fig. 13 — adaptive re-scheduling under load spike")
+	r13, err := experiments.Fig13()
+	if err != nil {
+		return err
+	}
+	experiments.PrintFig13(os.Stdout, r13)
+
+	section("Fig. 7 — FL training performance")
+	experiments.PrintCurves(os.Stdout, experiments.Fig7(*seed, sc))
+
+	section("Fig. 8 — grouping effectiveness")
+	experiments.PrintCurves(os.Stdout, experiments.Fig8(*seed, sc))
+
+	section("Fig. 9 — λ sensitivity")
+	experiments.PrintFig9(os.Stdout, experiments.Fig9(*seed, sc))
+
+	section("Headline claims")
+	h, err := experiments.ComputeHeadlines(*seed, sc)
+	if err != nil {
+		return err
+	}
+	experiments.PrintHeadlines(os.Stdout, h)
+	return nil
+}

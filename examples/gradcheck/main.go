@@ -1,0 +1,77 @@
+// Gradcheck: demonstrate that 1F1B-Sync pipelined training is exactly
+// equivalent to sequential training.
+//
+// The paper's 1F1B-Sync strategy is synchronous: micro-batch gradients
+// accumulate across the sync-round and the model updates once at the
+// pipeline flush, so there is no weight staleness (unlike PipeDream's
+// asynchronous 1F1B). This example trains the same initialization twice —
+// sequentially and through 2/3/4-stage pipelines — and prints the maximum
+// weight divergence after several updates.
+//
+//	go run ./examples/gradcheck
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"ecofl/internal/model"
+	"ecofl/internal/nn"
+	"ecofl/internal/pipeline/runtime"
+	"ecofl/internal/tensor"
+)
+
+func main() {
+	const seed = 99
+	mkData := func() (*tensor.Tensor, []int) {
+		rng := rand.New(rand.NewSource(5))
+		x := tensor.Randn(rng, 1, 48, 16)
+		y := make([]int, 48)
+		for i := range y {
+			y[i] = i % 4
+			x.Data[i*16+y[i]] += 2
+		}
+		return x, y
+	}
+	x, y := mkData()
+
+	// Reference: sequential full-mini-batch training.
+	ref := model.NewTrainableMLP(rand.New(rand.NewSource(seed)), "ref", 16, []int{24, 20, 16, 12}, 4)
+	refNet := ref.Network()
+	refOpt := &nn.SGD{LR: 0.05}
+	for step := 0; step < 10; step++ {
+		refNet.TrainBatch(x, y, refOpt)
+	}
+	refW := refNet.FlatWeights()
+
+	for stages := 2; stages <= 4; stages++ {
+		tr := model.NewTrainableMLP(rand.New(rand.NewSource(seed)), "pipe", 16, []int{24, 20, 16, 12}, 4)
+		cuts := make([]int, stages-1)
+		for i := range cuts {
+			cuts[i] = i + 1
+		}
+		pipe, err := runtime.New(tr, cuts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt := &nn.SGD{LR: 0.05}
+		for step := 0; step < 10; step++ {
+			if _, err := pipe.TrainSyncRound(x, y, 12, opt); err != nil {
+				log.Fatal(err)
+			}
+		}
+		w := pipe.Network().FlatWeights()
+		var maxDiff float64
+		for i := range w {
+			if d := math.Abs(w[i] - refW[i]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		fmt.Printf("%d-stage pipeline vs sequential after 10 updates: max |Δw| = %.2e\n", stages, maxDiff)
+	}
+	fmt.Println("\n1F1B-Sync is gradient-equivalent to sequential training (differences")
+	fmt.Println("are floating-point summation order only) — no staleness, no multi-")
+	fmt.Println("version weights, unlike asynchronous pipelines.")
+}

@@ -1,0 +1,71 @@
+// Smarthome: the full client-side Eco-FL story on one participant.
+//
+// A smart home owns three heterogeneous Jetson-class devices. This example
+// walks the paper's §4 end to end: profile the model's layers, partition
+// them with the heterogeneity-aware dynamic program, search device order
+// and micro-batch size, inspect the resulting 1F1B-Sync schedule, then hit
+// one device with an external load spike and watch the adaptive scheduler
+// migrate workload to recover throughput.
+//
+//	go run ./examples/smarthome
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecofl/internal/adaptive"
+	"ecofl/internal/device"
+	"ecofl/internal/model"
+	"ecofl/internal/partition"
+	"ecofl/internal/pipeline"
+)
+
+func main() {
+	spec := model.EfficientNet(4)
+	devs := []*device.Device{device.NanoH(), device.TX2Q(), device.NanoH()}
+	fmt.Printf("model: %s\ndevices: %v %v %v\n\n", spec, devs[0], devs[1], devs[2])
+
+	// §4.2–4.3: partition + device order + micro-batch size search.
+	orch, err := partition.Orchestrate(spec, devs, partition.Options{NumMicroBatches: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("orchestration:")
+	for s, st := range orch.Config.Stages {
+		fmt.Printf("  stage %d on %-7s layers [%2d,%2d)  %5.2f GFLOPs\n",
+			s, st.Device.Name, st.From, st.To, spec.SegmentFwdFLOPs(st.From, st.To)/1e9)
+	}
+	fmt.Printf("  micro-batch %d, M=%d, DDB-free=%v, K=%v\n",
+		orch.MicroBatchSize, orch.Config.NumMicroBatches, orch.SatisfiesP, orch.Result.Ks)
+	fmt.Printf("  throughput %.2f samples/s, stage util %.0f%% %.0f%% %.0f%%\n\n",
+		orch.Result.Throughput,
+		orch.Result.StageUtil[0]*100, orch.Result.StageUtil[1]*100, orch.Result.StageUtil[2]*100)
+
+	fmt.Println("one sync-round (digits forward, letters backward):")
+	fmt.Println(orch.Result.RenderGantt(100))
+
+	// §4.4: an external workload consumes 65% of the TX2.
+	fmt.Println("external load spike: TX2-Q drops to 35% capacity")
+	devs[1].LoadFactor = 0.35
+	degraded, err := pipeline.Schedule(orch.Config)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  degraded throughput: %.2f samples/s (%.0f%% of healthy)\n",
+		degraded.Throughput, degraded.Throughput/orch.Result.Throughput*100)
+
+	mig, recovered, err := adaptive.Reschedule(spec, orch.Config.Stages,
+		orch.Config.MicroBatchSize, orch.Config.NumMicroBatches, 2.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  migration: %.1f MB of parameters move, %.1f s downtime\n",
+		mig.MovedParamBytes/1e6, mig.MigrationTime)
+	fmt.Println("  new layout:")
+	for s, st := range mig.New {
+		fmt.Printf("    stage %d on %-7s layers [%2d,%2d)\n", s, st.Device.Name, st.From, st.To)
+	}
+	fmt.Printf("  recovered throughput: %.2f samples/s (%.0f%% of healthy)\n",
+		recovered.Throughput, recovered.Throughput/orch.Result.Throughput*100)
+}

@@ -1,0 +1,3 @@
+module ecofl
+
+go 1.22

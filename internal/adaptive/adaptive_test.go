@@ -1,0 +1,219 @@
+package adaptive
+
+import (
+	"testing"
+
+	"ecofl/internal/device"
+	"ecofl/internal/model"
+	"ecofl/internal/partition"
+	"ecofl/internal/pipeline"
+)
+
+func TestMonitorDetectsDeviation(t *testing.T) {
+	var m Monitor
+	if m.Report(0, 1.0) {
+		t.Fatal("first report establishes history, no trigger")
+	}
+	if m.Report(0, 1.05) {
+		t.Fatal("5% deviation below default threshold must not trigger")
+	}
+	if !m.Report(0, 2.0) {
+		t.Fatal("~90% deviation must trigger")
+	}
+	if m.History(0) <= 1.0 {
+		t.Fatal("EMA must move toward recent reports")
+	}
+	if m.History(5) != 0 {
+		t.Fatal("unknown stage history must be 0")
+	}
+}
+
+func TestMonitorPerStageIsolation(t *testing.T) {
+	var m Monitor
+	m.Report(0, 1.0)
+	m.Report(1, 4.0)
+	if m.Report(1, 4.1) {
+		t.Fatal("stage 1 stable, must not trigger")
+	}
+	if !m.Report(0, 3.0) {
+		t.Fatal("stage 0 spiked, must trigger")
+	}
+}
+
+func spikeExperiment() *SpikeExperiment {
+	return &SpikeExperiment{
+		Spec:            model.EfficientNet(4),
+		Devices:         []*device.Device{device.NanoH(), device.TX2Q(), device.NanoH()},
+		MicroBatchSize:  8,
+		NumMicroBatches: 8,
+		SpikeTime:       100,
+		SpikeDevice:     1,
+		SpikeLoadFactor: 0.35,
+		DetectDelay:     5,
+		RestartOverhead: 2,
+		Duration:        200,
+		SampleInterval:  1,
+	}
+}
+
+func TestPlanMigrationMovesChangedLayersOnly(t *testing.T) {
+	spec := model.EfficientNet(1)
+	devs := []*device.Device{device.TX2Q(), device.NanoH()}
+	plan, err := partition.DynamicProgramming(spec, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identity migration: nothing moves.
+	mig, err := PlanMigration(spec, plan.Stages, plan.Stages, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig.MovedParamBytes != 0 {
+		t.Fatalf("identity migration moved %v bytes", mig.MovedParamBytes)
+	}
+	if mig.MigrationTime != 2 {
+		t.Fatalf("identity migration time should be restart overhead only, got %v", mig.MigrationTime)
+	}
+	// Shift the cut by two layers: exactly those layers' params move.
+	shifted := []pipeline.Stage{
+		{Device: devs[0], From: 0, To: plan.Stages[0].To - 2},
+		{Device: devs[1], From: plan.Stages[0].To - 2, To: spec.NumLayers()},
+	}
+	mig2, err := PlanMigration(spec, plan.Stages, shifted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := spec.SegmentParamBytes(plan.Stages[0].To-2, plan.Stages[0].To)
+	if mig2.MovedParamBytes != want {
+		t.Fatalf("moved %v bytes, want %v", mig2.MovedParamBytes, want)
+	}
+	if mig2.MigrationTime <= 0 {
+		t.Fatal("moving layers must take time")
+	}
+}
+
+func TestRescheduleRebalancesAfterSlowdown(t *testing.T) {
+	spec := model.EfficientNet(4)
+	devs := []*device.Device{device.NanoH(), device.TX2Q(), device.NanoH()}
+	plan, err := partition.DynamicProgramming(spec, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &pipeline.Config{Spec: spec, Stages: plan.Stages, MicroBatchSize: 8, NumMicroBatches: 8}
+	healthy, err := pipeline.Schedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slow down the middle device 3×.
+	devs[1].LoadFactor = 0.33
+	degraded, err := pipeline.Schedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mig, rebalanced, err := Reschedule(spec, plan.Stages, 8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig.MovedParamBytes <= 0 {
+		t.Fatal("rescheduling after a 3× slowdown should move layers")
+	}
+	if rebalanced.Throughput <= degraded.Throughput {
+		t.Fatalf("migration must recover throughput: %v → %v", degraded.Throughput, rebalanced.Throughput)
+	}
+	if rebalanced.Throughput > healthy.Throughput {
+		t.Fatalf("rebalanced (%v) cannot exceed the healthy pipeline (%v)", rebalanced.Throughput, healthy.Throughput)
+	}
+}
+
+func TestSpikeTimelineShapes(t *testing.T) {
+	e := spikeExperiment()
+	with, err := e.Run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := e.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	thAt := func(tl *Timeline, time float64) float64 {
+		var last float64
+		for _, s := range tl.Samples {
+			if s.Time > time {
+				break
+			}
+			last = s.Throughput
+		}
+		return last
+	}
+	before := thAt(without, 50)
+	afterNoSched := thAt(without, 190)
+	if afterNoSched >= before {
+		t.Fatalf("spike must degrade throughput without scheduler: %v → %v", before, afterNoSched)
+	}
+	afterSched := thAt(with, 190)
+	if afterSched <= afterNoSched {
+		t.Fatalf("scheduler must recover throughput: %v vs %v", afterSched, afterNoSched)
+	}
+	if afterSched > before {
+		t.Fatalf("recovered throughput (%v) cannot exceed pre-spike (%v)", afterSched, before)
+	}
+	// During migration throughput is zero.
+	mid := (with.MigrationStart + with.MigrationEnd) / 2
+	if thAt(with, mid) != 0 {
+		t.Fatal("throughput must be zero during migration/restart")
+	}
+	if with.MigrationStart < e.SpikeTime {
+		t.Fatal("migration cannot start before the spike is detected")
+	}
+	// The spiked device shows high total utilization after the spike.
+	for _, s := range without.Samples {
+		if s.Time > e.SpikeTime+1 {
+			if s.DeviceUtil[e.SpikeDevice] < 1-e.SpikeLoadFactor {
+				t.Fatal("spiked device utilization must include external load")
+			}
+			break
+		}
+	}
+}
+
+func TestSpikeExperimentValidation(t *testing.T) {
+	e := spikeExperiment()
+	e.SampleInterval = 0
+	if _, err := e.Run(true); err == nil {
+		t.Fatal("zero sample interval must error")
+	}
+	e = spikeExperiment()
+	e.SpikeDevice = 9
+	if _, err := e.Run(true); err == nil {
+		t.Fatal("out-of-range spike device must error")
+	}
+}
+
+func TestRescheduleFallsBackToSmallerMicroBatch(t *testing.T) {
+	spec := model.EfficientNet(6)
+	// Tight-memory devices: a migration at mbs=32 cannot fit, the
+	// scheduler must fall back to a smaller micro-batch instead of failing.
+	tight := func(rate float64) *device.Device {
+		d := device.NanoH()
+		d.ComputeRate = rate
+		d.MemoryBytes = int64(1.2e9)
+		return d
+	}
+	devs := []*device.Device{tight(300e9), tight(150e9)}
+	plan, err := partition.DynamicProgrammingBatch(spec, devs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs[0].LoadFactor = 0.4
+	mig, res, err := Reschedule(spec, plan.Stages, 32, 8, 1)
+	if err != nil {
+		t.Fatalf("fallback should find a feasible micro-batch: %v", err)
+	}
+	if res.Config.MicroBatchSize >= 32 {
+		t.Fatalf("expected a reduced micro-batch, got %d", res.Config.MicroBatchSize)
+	}
+	if mig == nil || res.Throughput <= 0 {
+		t.Fatal("fallback must produce a usable schedule")
+	}
+}

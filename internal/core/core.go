@@ -1,0 +1,183 @@
+// Package core is Eco-FL's top-level API, composing the paper's two halves:
+// on the client side, each participant ("smart home") accelerates local
+// training with an edge-collaborative 1F1B-Sync pipeline over its trusted
+// devices (§4); on the server side, homes are grouped by response latency
+// and data distribution for hierarchical aggregation (§5). The glue is the
+// response latency: a home's FL round time is derived from its pipeline
+// throughput, so pipeline efficiency, load spikes, and adaptive migration
+// directly shape the server's grouping decisions.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ecofl/internal/adaptive"
+	"ecofl/internal/data"
+	"ecofl/internal/device"
+	"ecofl/internal/fl"
+	"ecofl/internal/model"
+	"ecofl/internal/partition"
+	"ecofl/internal/pipeline"
+)
+
+// Home is one FL participant: a cluster of trusted in-home devices running
+// a collaborative training pipeline, fronted by a portal node.
+type Home struct {
+	ID      int
+	Spec    *model.Spec
+	Devices []*device.Device
+	Orch    *partition.Orchestration
+	// UplinkBandwidth is the portal's link to the Eco-FL server (bytes/s).
+	UplinkBandwidth float64
+}
+
+// NewHome orchestrates a pipeline over the home's devices (device order,
+// partition, micro-batch size per §4.2–4.3).
+func NewHome(id int, spec *model.Spec, devs []*device.Device, opts partition.Options) (*Home, error) {
+	if len(devs) == 0 {
+		return nil, errors.New("core: a home needs at least one device")
+	}
+	orch, err := partition.Orchestrate(spec, devs, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: home %d: %w", id, err)
+	}
+	return &Home{
+		ID:              id,
+		Spec:            spec,
+		Devices:         devs,
+		Orch:            orch,
+		UplinkBandwidth: device.Bandwidth100Mbps,
+	}, nil
+}
+
+// Throughput returns the home's current pipeline training throughput in
+// samples per second.
+func (h *Home) Throughput() float64 { return h.Orch.Result.Throughput }
+
+// RoundLatency returns the home's FL response latency: local pipeline
+// training of `samples` examples for `epochs` epochs, plus uploading the
+// updated model and downloading the fresh one through the portal uplink.
+func (h *Home) RoundLatency(samples, epochs int) float64 {
+	train := float64(samples*epochs) / h.Throughput()
+	comm := 2 * h.Spec.TotalParamBytes() / h.UplinkBandwidth
+	return train + comm
+}
+
+// ApplyLoad sets an external load factor on one device (1 = idle); the
+// pipeline schedule is recomputed on the degraded rates without migration,
+// mirroring a load spike hitting a static pipeline.
+func (h *Home) ApplyLoad(devIdx int, loadFactor float64) error {
+	if devIdx < 0 || devIdx >= len(h.Devices) {
+		return fmt.Errorf("core: device %d out of range", devIdx)
+	}
+	h.Devices[devIdx].LoadFactor = loadFactor
+	res, err := pipeline.Schedule(h.Orch.Config)
+	if err != nil {
+		return err
+	}
+	h.Orch.Result = res
+	return nil
+}
+
+// Reschedule runs the adaptive workload migration of §4.4 on the current
+// device rates and returns the migration downtime. The home's pipeline
+// partition and throughput are updated in place.
+func (h *Home) Reschedule(restartOverhead float64) (float64, error) {
+	mig, res, err := adaptive.Reschedule(h.Spec, h.Orch.Config.Stages,
+		h.Orch.Config.MicroBatchSize, h.Orch.Config.NumMicroBatches, restartOverhead)
+	if err != nil {
+		return 0, err
+	}
+	h.Orch.Config.Stages = mig.New
+	h.Orch.Result = res
+	return mig.MigrationTime, nil
+}
+
+// ---------------------------------------------------------------- System
+
+// FleetTemplate names the device sets homes are built from; fleets are
+// sampled to model heterogeneous collaborative capability (§6.1).
+var FleetTemplates = [][]string{
+	{"Nano-L"},
+	{"Nano-H"},
+	{"Nano-L", "Nano-H"},
+	{"Nano-H", "TX2-Q"},
+	{"Nano-H", "Nano-H", "TX2-Q"},
+	{"Nano-H", "TX2-Q", "TX2-N"},
+}
+
+// System is a full Eco-FL deployment: homes with pipelines plus the
+// hierarchical FL population derived from them.
+type System struct {
+	Homes      []*Home
+	Population *fl.Population
+}
+
+// SystemConfig configures BuildSystem.
+type SystemConfig struct {
+	Seed int64
+	// Spec is the model every home trains (the FL task's network is the
+	// small trainable counterpart; Spec drives latency).
+	Spec *model.Spec
+	// Shards are the per-home data partitions; one home per shard.
+	Shards []*data.Subset
+	// FL carries the aggregation hyperparameters. MeanDelay/StdDelay are
+	// ignored: latencies come from the pipelines.
+	FL fl.Config
+	// LocalEpochs for latency purposes (defaults to FL.LocalEpochs or 3).
+	Epochs int
+}
+
+// BuildSystem constructs homes with sampled device fleets, orchestrates a
+// pipeline for each, and derives every client's FL response latency from
+// its pipeline throughput — the end-to-end composition the paper proposes.
+func BuildSystem(cfg SystemConfig, testX *data.Subset) (*System, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("core: need at least one shard")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	epochs := cfg.Epochs
+	if epochs == 0 {
+		epochs = cfg.FL.LocalEpochs
+	}
+	if epochs == 0 {
+		epochs = 3
+	}
+	sys := &System{}
+	for i := range cfg.Shards {
+		tmpl := FleetTemplates[rng.Intn(len(FleetTemplates))]
+		devs := make([]*device.Device, len(tmpl))
+		for j, name := range tmpl {
+			d, err := device.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			devs[j] = d
+		}
+		home, err := NewHome(i, cfg.Spec, devs, partition.Options{NumMicroBatches: 2 * len(devs)})
+		if err != nil {
+			return nil, err
+		}
+		sys.Homes = append(sys.Homes, home)
+	}
+	tx, ty := testX.Materialize()
+	pop := fl.NewPopulation(rng, cfg.Shards, tx, ty, cfg.FL)
+	// Replace the synthetic latency model with pipeline-derived latencies:
+	// BaseDelay is the home's measured round latency and the collaborative
+	// degree becomes 1 (the pipeline already encodes collaboration).
+	for i, c := range pop.Clients {
+		c.BaseDelay = sys.Homes[i].RoundLatency(c.Train.Len(), epochs)
+		c.CollabDegree = 1
+	}
+	sys.Population = pop
+	return sys, nil
+}
+
+// RefreshLatency recomputes client i's response latency from its home's
+// current pipeline throughput (call after ApplyLoad/Reschedule).
+func (s *System) RefreshLatency(i, epochs int) {
+	c := s.Population.Clients[i]
+	c.BaseDelay = s.Homes[i].RoundLatency(c.Train.Len(), epochs)
+}

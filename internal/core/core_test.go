@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecofl/internal/data"
+	"ecofl/internal/device"
+	"ecofl/internal/fl"
+	"ecofl/internal/model"
+	"ecofl/internal/partition"
+)
+
+func TestHomeLatencyFollowsPipelineThroughput(t *testing.T) {
+	spec := model.MobileNetV2(1)
+	rich, err := NewHome(0, spec, []*device.Device{device.TX2N(), device.NanoH(), device.NanoH()},
+		partition.Options{NumMicroBatches: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poor, err := NewHome(1, spec, []*device.Device{device.NanoL()}, partition.Options{NumMicroBatches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rich.Throughput() <= poor.Throughput() {
+		t.Fatalf("3-device home must out-run a lone Nano-L: %v vs %v", rich.Throughput(), poor.Throughput())
+	}
+	if rich.RoundLatency(300, 3) >= poor.RoundLatency(300, 3) {
+		t.Fatal("higher throughput must mean lower FL response latency")
+	}
+}
+
+func TestApplyLoadAndRescheduleRecover(t *testing.T) {
+	spec := model.EfficientNet(4)
+	home, err := NewHome(0, spec, []*device.Device{device.NanoH(), device.TX2Q(), device.NanoH()},
+		partition.Options{NumMicroBatches: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := home.Throughput()
+	if err := home.ApplyLoad(1, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	degraded := home.Throughput()
+	if degraded >= healthy {
+		t.Fatalf("load must reduce throughput: %v → %v", healthy, degraded)
+	}
+	downtime, err := home.Reschedule(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if downtime <= 0 {
+		t.Fatal("migration takes time")
+	}
+	if home.Throughput() <= degraded {
+		t.Fatalf("rescheduling must recover throughput: %v vs %v", home.Throughput(), degraded)
+	}
+	if err := home.ApplyLoad(9, 0.5); err == nil {
+		t.Fatal("out-of-range device must error")
+	}
+}
+
+func TestBuildSystemEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := data.MNISTLike(rng, 800)
+	_, test := ds.Split(0.8)
+	shards := data.PartitionByClasses(rng, ds, 16, 2)
+	sys, err := BuildSystem(SystemConfig{
+		Seed:   5,
+		Spec:   model.MobileNetV2(1),
+		Shards: shards,
+		FL: fl.Config{
+			Seed: 5, MaxConcurrent: 8, LocalEpochs: 2, BatchSize: 10,
+			LR: 0.05, NumGroups: 3, Duration: 1200, EvalInterval: 150,
+			RTThreshold: 1e9, Lambda: 200,
+		},
+	}, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Homes) != 16 || len(sys.Population.Clients) != 16 {
+		t.Fatalf("system size mismatch: %d homes, %d clients", len(sys.Homes), len(sys.Population.Clients))
+	}
+	// Latencies must be pipeline-derived and heterogeneous.
+	seen := map[bool]bool{}
+	var lats []float64
+	for i, c := range sys.Population.Clients {
+		if c.BaseDelay <= 0 || c.CollabDegree != 1 {
+			t.Fatalf("client %d latency not pipeline-derived", i)
+		}
+		lats = append(lats, c.Latency())
+		seen[sys.Homes[i].Throughput() > 50] = true
+	}
+	varied := false
+	for _, l := range lats[1:] {
+		if l != lats[0] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("heterogeneous fleets must yield heterogeneous latencies")
+	}
+	// The composed system must train end to end.
+	res := fl.RunHierarchical(sys.Population, fl.HierOptions{Grouping: fl.GroupEcoFL, DynamicRegroup: true})
+	if res.Rounds == 0 || res.FinalAccuracy < 0.3 {
+		t.Fatalf("end-to-end system failed to train: rounds %d, acc %v", res.Rounds, res.FinalAccuracy)
+	}
+	// RefreshLatency reflects load changes.
+	before := sys.Population.Clients[0].Latency()
+	if err := sys.Homes[0].ApplyLoad(0, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	sys.RefreshLatency(0, 2)
+	if sys.Population.Clients[0].Latency() <= before {
+		t.Fatal("load spike must raise the client's response latency")
+	}
+}
+
+func TestFleetTemplatesAllValid(t *testing.T) {
+	for i, tmpl := range FleetTemplates {
+		if len(tmpl) == 0 {
+			t.Fatalf("template %d empty", i)
+		}
+		for _, name := range tmpl {
+			if _, err := device.ByName(name); err != nil {
+				t.Fatalf("template %d references unknown device %q", i, name)
+			}
+		}
+	}
+}
+
+func TestNewHomeValidation(t *testing.T) {
+	if _, err := NewHome(0, model.EfficientNet(1), nil, partition.Options{}); err == nil {
+		t.Fatal("home without devices must error")
+	}
+}
+
+func TestBuildSystemValidation(t *testing.T) {
+	if _, err := BuildSystem(SystemConfig{}, nil); err == nil {
+		t.Fatal("system without shards must error")
+	}
+}

@@ -1,0 +1,60 @@
+package device
+
+import "testing"
+
+func TestPresetOrdering(t *testing.T) {
+	nl, nh, tq, tn := NanoL(), NanoH(), TX2Q(), TX2N()
+	if !(nl.ComputeRate < nh.ComputeRate && nh.ComputeRate < tq.ComputeRate && tq.ComputeRate < tn.ComputeRate) {
+		t.Fatal("compute ordering must be Nano-L < Nano-H < TX2-Q < TX2-N (Table 1)")
+	}
+	if nl.MemoryBytes != nh.MemoryBytes {
+		t.Fatal("both Nano power modes share the same 4GB module")
+	}
+	if tq.MemoryBytes <= nh.MemoryBytes {
+		t.Fatal("TX2 has more memory than Nano")
+	}
+	if nl.LinkBandwidth != Bandwidth100Mbps {
+		t.Fatal("paper testbed uses 100 Mbps links")
+	}
+}
+
+func TestEffectiveRate(t *testing.T) {
+	d := NanoH()
+	if d.EffectiveRate() != d.ComputeRate {
+		t.Fatal("idle device runs at full rate")
+	}
+	d.LoadFactor = 0.25
+	if d.EffectiveRate() != d.ComputeRate*0.25 {
+		t.Fatal("load factor must scale rate")
+	}
+	d.LoadFactor = 0 // unset → treated as idle
+	if d.EffectiveRate() != d.ComputeRate {
+		t.Fatal("zero load factor must default to 1")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Nano-L", "Nano-H", "TX2-Q", "TX2-N"} {
+		d, err := ByName(name)
+		if err != nil || d.Name != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, d, err)
+		}
+	}
+	if _, err := ByName("RaspberryPi"); err == nil {
+		t.Fatal("unknown preset must error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := TX2N()
+	b := a.Clone()
+	b.LoadFactor = 0.5
+	if a.LoadFactor == 0.5 {
+		t.Fatal("Clone must not alias")
+	}
+	devs := CloneAll([]*Device{NanoL(), NanoH()})
+	devs[0].ComputeRate = 1
+	if NanoL().ComputeRate == 1 {
+		t.Fatal("CloneAll must deep-copy")
+	}
+}

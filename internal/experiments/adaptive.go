@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ecofl/internal/adaptive"
+	"ecofl/internal/device"
+	"ecofl/internal/model"
+)
+
+// Fig13Result holds the load-spike timelines with and without the adaptive
+// scheduler (§6.3, Fig. 13).
+type Fig13Result struct {
+	With, Without *adaptive.Timeline
+	Experiment    *adaptive.SpikeExperiment
+}
+
+// Fig13 reproduces the dynamic re-scheduling experiment: EfficientNet-B4 on
+// a 3-stage TX2-Q + 2×Nano-H pipeline, an external GPU load hitting device 2
+// at t=100 s, sampled per second for 200 s.
+func Fig13() (*Fig13Result, error) {
+	e := &adaptive.SpikeExperiment{
+		Spec:            model.EfficientNet(4),
+		Devices:         []*device.Device{device.NanoH(), device.TX2Q(), device.NanoH()},
+		MicroBatchSize:  8,
+		NumMicroBatches: 8,
+		SpikeTime:       100,
+		SpikeDevice:     1,
+		SpikeLoadFactor: 0.35,
+		DetectDelay:     4,
+		RestartOverhead: 2,
+		Duration:        200,
+		SampleInterval:  1,
+	}
+	with, err := e.Run(true)
+	if err != nil {
+		return nil, err
+	}
+	without, err := e.Run(false)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig13Result{With: with, Without: without, Experiment: e}, nil
+}
+
+// PrintFig13 renders the spike timelines at 20-second resolution plus the
+// migration window.
+func PrintFig13(w io.Writer, r *Fig13Result) {
+	fmt.Fprintf(w, "spike at t=%.0fs on device %d (load factor %.2f); migration window [%.1f, %.1f]s\n",
+		r.Experiment.SpikeTime, r.Experiment.SpikeDevice, r.Experiment.SpikeLoadFactor,
+		r.With.MigrationStart, r.With.MigrationEnd)
+	fmt.Fprintf(w, "%6s %24s %24s\n", "t(s)", "throughput w/o | w/ sched", "device util w/o | w/")
+	for i, s := range r.Without.Samples {
+		if int(s.Time)%20 != 0 {
+			continue
+		}
+		ws := r.With.Samples[i]
+		fmt.Fprintf(w, "%6.0f %11.2f | %10.2f ", s.Time, s.Throughput, ws.Throughput)
+		for d := range s.DeviceUtil {
+			fmt.Fprintf(w, " d%d:%3.0f%%|%3.0f%%", d, s.DeviceUtil[d]*100, ws.DeviceUtil[d]*100)
+		}
+		fmt.Fprintln(w)
+	}
+}

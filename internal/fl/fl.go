@@ -1,0 +1,265 @@
+// Package fl implements Eco-FL's server side (§5): the grouping-based
+// hierarchical aggregation combining synchronous intra-group FedProx rounds
+// with asynchronous inter-group mixing, the adaptive client grouping of
+// Eq. 4 / Algorithm 1, and the FedAvg / FedAsync / FedAT / Astraea baselines
+// of §6.2. Simulations run on virtual time (clients' response latencies)
+// while model updates are computed for real on each client's local data, so
+// accuracy-versus-time curves are genuine training curves.
+package fl
+
+import (
+	"math"
+	"math/rand"
+
+	"ecofl/internal/data"
+	"ecofl/internal/nn"
+	"ecofl/internal/stats"
+	"ecofl/internal/tensor"
+)
+
+// CollabDegrees is the paper's set of collaborative degrees: the fraction
+// of the original response delay remaining after edge-collaborative pipeline
+// acceleration (§6.1). 0.2 means strong acceleration, 1.0 none.
+var CollabDegrees = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+
+// Client is one FL participant (a smart home with its pipeline).
+type Client struct {
+	ID int
+	// Train is the client's local data shard.
+	Train *data.Subset
+	// BaseDelay is the original per-round response delay; the effective
+	// latency is BaseDelay × CollabDegree (§6.1).
+	BaseDelay    float64
+	CollabDegree float64
+	// Dropped marks a client temporarily excluded by Algorithm 1.
+	Dropped bool
+	// LastLoss is the client's most recent mean training loss — the
+	// statistical-utility signal guided selection uses (Oort-style).
+	LastLoss float64
+
+	net   *nn.Network
+	dist  stats.Distribution
+	cache struct {
+		x *tensor.Tensor
+		y []int
+	}
+}
+
+// Latency returns the client's current response latency (§6.1: original
+// delay × collaborative degree).
+func (c *Client) Latency() float64 { return c.BaseDelay * c.CollabDegree }
+
+// Distribution returns the client's label distribution π_n.
+func (c *Client) Distribution() stats.Distribution { return c.dist }
+
+// SetShard replaces the client's local data (used by experiment setups that
+// assign data after latencies are known, e.g. the RLG protocols of §6.1).
+func (c *Client) SetShard(s *data.Subset) {
+	c.Train = s
+	c.dist = s.Distribution()
+	c.cache.x, c.cache.y = s.Materialize()
+}
+
+// MaybeRedraw re-samples the collaborative degree with probability p — the
+// paper's dynamic setting where available edge resources fluctuate.
+func (c *Client) MaybeRedraw(rng *rand.Rand, p float64) bool {
+	if rng.Float64() >= p {
+		return false
+	}
+	c.CollabDegree = CollabDegrees[rng.Intn(len(CollabDegrees))]
+	return true
+}
+
+// Config collects the hyperparameters shared by all strategies (§6.1).
+type Config struct {
+	Seed          int64
+	NumClients    int     // paper: 300
+	MaxConcurrent int     // paper: at most 20 clients per round
+	LocalEpochs   int     // paper: 3
+	BatchSize     int     // paper: 10
+	LR            float64 // learning rate for local SGD
+	Mu            float64 // FedProx proximal coefficient (paper: 0.05)
+	Alpha         float64 // asynchronous mixing weight (FedAsync / inter-group)
+	Lambda        float64 // grouping cost trade-off λ (Eq. 4)
+	NumGroups     int     // paper: 5 response-latency groups
+	RTThreshold   float64 // RT_g straggler threshold
+	// GroupSyncEvery is how many intra-group synchronous rounds a group
+	// runs between pushes to the asynchronous global aggregator (the "e
+	// steps of local updates" of §5.1 at group granularity). Default 1.
+	GroupSyncEvery int
+	// Duration is the virtual-time horizon; EvalInterval the accuracy
+	// sampling period.
+	Duration     float64
+	EvalInterval float64
+	// Dynamic enables collaborative-degree re-draws every DynamicInterval
+	// with probability DynamicProb per client.
+	Dynamic         bool
+	DynamicProb     float64
+	DynamicInterval float64
+
+	// MeanDelay/StdDelay parameterize the normal distribution the
+	// original response delays are sampled from.
+	MeanDelay, StdDelay float64
+}
+
+// withDefaults fills unset fields with the paper's configuration.
+func (c Config) withDefaults() Config {
+	def := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	if c.NumClients == 0 {
+		c.NumClients = 300
+	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 20
+	}
+	if c.LocalEpochs == 0 {
+		c.LocalEpochs = 3
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 10
+	}
+	def(&c.LR, 0.05)
+	def(&c.Mu, 0.05)
+	def(&c.Alpha, 0.4)
+	if c.NumGroups == 0 {
+		c.NumGroups = 5
+	}
+	if c.GroupSyncEvery == 0 {
+		c.GroupSyncEvery = 1
+	}
+	def(&c.RTThreshold, 15)
+	def(&c.Duration, 5000)
+	def(&c.EvalInterval, 50)
+	def(&c.DynamicProb, 0.2)
+	def(&c.DynamicInterval, 200)
+	def(&c.MeanDelay, 40)
+	def(&c.StdDelay, 12)
+	return c
+}
+
+// Population is the full client fleet plus the shared test set and the
+// global model prototype.
+type Population struct {
+	Clients []*Client
+	TestX   *tensor.Tensor
+	TestY   []int
+	Proto   *nn.Network // architecture template; weights are the seed init
+	Config  Config
+}
+
+// NewPopulation builds clients from pre-partitioned shards with a default
+// MLP global model, sampling each client's base delay from
+// N(MeanDelay, StdDelay²) clipped at MeanDelay/4, and assigning a random
+// collaborative degree (§6.1).
+func NewPopulation(rng *rand.Rand, shards []*data.Subset, testX *tensor.Tensor, testY []int, cfg Config) *Population {
+	dim := shards[0].Parent.Dim
+	classes := shards[0].Parent.NumClasses
+	return NewPopulationWithProto(rng, shards, testX, testY, cfg, nn.NewMLP(rng, dim, 64, classes))
+}
+
+// NewPopulationWithProto is NewPopulation with a caller-supplied global
+// model architecture (e.g. a CNN for image-shaped shards). Every client
+// trains an independent clone.
+func NewPopulationWithProto(rng *rand.Rand, shards []*data.Subset, testX *tensor.Tensor, testY []int, cfg Config, proto *nn.Network) *Population {
+	cfg = cfg.withDefaults()
+	cfg.NumClients = len(shards)
+	p := &Population{TestX: testX, TestY: testY, Config: cfg}
+	p.Proto = proto
+	for i, sh := range shards {
+		base := cfg.MeanDelay + rng.NormFloat64()*cfg.StdDelay
+		if base < cfg.MeanDelay/4 {
+			base = cfg.MeanDelay / 4
+		}
+		c := &Client{
+			ID:           i,
+			Train:        sh,
+			BaseDelay:    base,
+			CollabDegree: CollabDegrees[rng.Intn(len(CollabDegrees))],
+			net:          p.Proto.Clone(),
+			dist:         sh.Distribution(),
+		}
+		c.cache.x, c.cache.y = sh.Materialize()
+		p.Clients = append(p.Clients, c)
+	}
+	return p
+}
+
+// GlobalInit returns the initial global weight vector.
+func (p *Population) GlobalInit() []float64 { return p.Proto.FlatWeights() }
+
+// TestClasses returns the number of classes in the task.
+func (p *Population) TestClasses() int {
+	if len(p.Clients) == 0 {
+		return 0
+	}
+	return p.Clients[0].Train.Parent.NumClasses
+}
+
+// Evaluate returns the test accuracy of a global weight vector.
+func (p *Population) Evaluate(w []float64) float64 {
+	p.Proto.SetFlatWeights(w)
+	return p.Proto.Accuracy(p.TestX, p.TestY)
+}
+
+// LocalTrain runs the client's local update: LocalEpochs passes of
+// mini-batch SGD from the reference weights ref, with a FedProx proximal
+// term µ‖w − ref‖²/2 pulling toward ref (§5.1). Only Eco-FL's intra-group
+// training uses the proximal term in the paper, so mu is a parameter:
+// baselines pass 0, hierarchical strategies pass Config.Mu. It returns the
+// updated weights; the client's sample count is Train.Len().
+func (p *Population) LocalTrain(rng *rand.Rand, c *Client, ref []float64, mu float64) []float64 {
+	cfg := p.Config
+	c.net.SetFlatWeights(ref)
+	opt := &nn.SGD{LR: cfg.LR, Mu: mu, Global: ref}
+	var lossSum float64
+	batches := 0
+	for e := 0; e < cfg.LocalEpochs; e++ {
+		for _, b := range c.Train.Batches(rng, cfg.BatchSize) {
+			lossSum += c.net.TrainBatch(b.X, b.Y, opt)
+			batches++
+		}
+	}
+	if batches > 0 {
+		c.LastLoss = lossSum / float64(batches)
+	}
+	return c.net.FlatWeights()
+}
+
+// WeightedAverage aggregates weight vectors with the given weights
+// (normalized internally); used for intra-group synchronous aggregation.
+func WeightedAverage(vectors [][]float64, weights []float64) []float64 {
+	if len(vectors) == 0 {
+		return nil
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	out := make([]float64, len(vectors[0]))
+	for i, v := range vectors {
+		f := weights[i] / total
+		for j, x := range v {
+			out[j] += f * x
+		}
+	}
+	return out
+}
+
+// AsyncMix applies the FedAsync global update w ← (1−α)w + αw_new in place.
+func AsyncMix(global, update []float64, alpha float64) {
+	for i := range global {
+		global[i] = (1-alpha)*global[i] + alpha*update[i]
+	}
+}
+
+// StalenessAlpha attenuates the mixing weight by update staleness, the
+// polynomial staleness function of FedAsync: α_eff = α / (1 + staleness)^a.
+func StalenessAlpha(alpha, staleness, a float64) float64 {
+	if staleness < 0 {
+		staleness = 0
+	}
+	return alpha / math.Pow(1+staleness, a)
+}

@@ -1,0 +1,393 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ecofl/internal/sim"
+)
+
+// Point is one sample of the accuracy-versus-virtual-time curve.
+type Point struct {
+	Time     float64
+	Accuracy float64
+}
+
+// RunResult is the outcome of one FL simulation.
+type RunResult struct {
+	Strategy string
+	Curve    []Point
+	// FinalAccuracy is the last evaluation; BestAccuracy the maximum.
+	FinalAccuracy, BestAccuracy float64
+	// Rounds counts aggregation events (global rounds for FedAvg, client
+	// updates for FedAsync, group rounds for hierarchical strategies).
+	Rounds int
+	// Participation counts how many times each client trained.
+	Participation []int
+	// GroupCurves traces each group model's test accuracy over time when
+	// HierOptions.TrackGroups is set (paper §5.1's intra-group level).
+	GroupCurves map[int][]Point
+	// AvgJS and AvgLatency describe the final grouping (hierarchical
+	// strategies only) — the Fig. 9 axes.
+	AvgJS, AvgLatency float64
+	// Dropped is the number of clients dropped out at the end.
+	Dropped int
+}
+
+func (r *RunResult) record(t, acc float64) {
+	r.Curve = append(r.Curve, Point{Time: t, Accuracy: acc})
+	r.FinalAccuracy = acc
+	if acc > r.BestAccuracy {
+		r.BestAccuracy = acc
+	}
+}
+
+// TimeToAccuracy returns the earliest virtual time the curve reaches the
+// target accuracy, or +Inf if it never does.
+func (r *RunResult) TimeToAccuracy(target float64) float64 {
+	for _, p := range r.Curve {
+		if p.Accuracy >= target {
+			return p.Time
+		}
+	}
+	return math.Inf(1)
+}
+
+// dynamics advances the population's collaborative degrees over (from, to].
+type dynamics struct {
+	next float64
+	cfg  Config
+}
+
+func (d *dynamics) advance(rng *rand.Rand, pop *Population, now float64) bool {
+	if !d.cfg.Dynamic {
+		return false
+	}
+	changed := false
+	for now >= d.next {
+		for _, c := range pop.Clients {
+			if c.MaybeRedraw(rng, d.cfg.DynamicProb) {
+				changed = true
+			}
+		}
+		d.next += d.cfg.DynamicInterval
+	}
+	return changed
+}
+
+// sample draws k distinct non-dropped clients.
+func sample(rng *rand.Rand, clients []*Client, k int) []*Client {
+	var active []*Client
+	for _, c := range clients {
+		if !c.Dropped {
+			active = append(active, c)
+		}
+	}
+	if k >= len(active) {
+		return active
+	}
+	rng.Shuffle(len(active), func(i, j int) { active[i], active[j] = active[j], active[i] })
+	return active[:k]
+}
+
+// sampleGuided is Oort-inspired utility-based selection: clients with
+// higher recent training loss (more to learn from) are preferred, with an
+// ε fraction chosen at random for exploration. Unvisited clients (LastLoss
+// zero) rank above everyone, so coverage is established first.
+func sampleGuided(rng *rand.Rand, clients []*Client, k int, epsilon float64) []*Client {
+	var active []*Client
+	for _, c := range clients {
+		if !c.Dropped {
+			active = append(active, c)
+		}
+	}
+	if k >= len(active) {
+		return active
+	}
+	rng.Shuffle(len(active), func(i, j int) { active[i], active[j] = active[j], active[i] })
+	sort.SliceStable(active, func(i, j int) bool {
+		ui, uj := active[i].LastLoss, active[j].LastLoss
+		if ui == 0 {
+			ui = math.Inf(1)
+		}
+		if uj == 0 {
+			uj = math.Inf(1)
+		}
+		return ui > uj
+	})
+	explore := int(float64(k) * epsilon)
+	sel := append([]*Client(nil), active[:k-explore]...)
+	rest := active[k-explore:]
+	rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+	sel = append(sel, rest[:explore]...)
+	return sel
+}
+
+// ---------------------------------------------------------------- FedAvg
+
+// RunFedAvg simulates the synchronous FedAvg baseline: every round selects
+// up to MaxConcurrent random clients, waits for the slowest, and averages
+// their updates weighted by sample count.
+func RunFedAvg(pop *Population) *RunResult {
+	cfg := pop.Config
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &RunResult{Strategy: "FedAvg", Participation: make([]int, len(pop.Clients))}
+	w := pop.GlobalInit()
+	dyn := dynamics{next: cfg.DynamicInterval, cfg: cfg}
+	t, lastEval := 0.0, math.Inf(-1)
+	for t < cfg.Duration {
+		sel := sample(rng, pop.Clients, cfg.MaxConcurrent)
+		if len(sel) == 0 {
+			break
+		}
+		var roundTime float64
+		updates := make([][]float64, len(sel))
+		weights := make([]float64, len(sel))
+		for i, c := range sel {
+			if l := c.Latency(); l > roundTime {
+				roundTime = l
+			}
+			updates[i] = pop.LocalTrain(rng, c, w, 0) // plain FedAvg: no proximal term
+			weights[i] = float64(c.Train.Len())
+			res.Participation[c.ID]++
+		}
+		w = WeightedAverage(updates, weights)
+		t += roundTime
+		res.Rounds++
+		dyn.advance(rng, pop, t)
+		if t-lastEval >= cfg.EvalInterval {
+			res.record(t, pop.Evaluate(w))
+			lastEval = t
+		}
+	}
+	return res
+}
+
+// ---------------------------------------------------------------- FedAsync
+
+// RunFedAsync simulates the asynchronous baseline on the discrete-event
+// engine: MaxConcurrent clients train continuously; each arriving update is
+// mixed into the global model with a staleness-attenuated α, and a fresh
+// client is dispatched.
+func RunFedAsync(pop *Population) *RunResult {
+	cfg := pop.Config
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &RunResult{Strategy: "FedAsync", Participation: make([]int, len(pop.Clients))}
+	w := pop.GlobalInit()
+	dyn := dynamics{next: cfg.DynamicInterval, cfg: cfg}
+
+	var eng sim.Engine
+	version := 0
+	lastEval := math.Inf(-1)
+	var dispatch func()
+	dispatch = func() {
+		sel := sample(rng, pop.Clients, 1)
+		if len(sel) == 0 {
+			return
+		}
+		c := sel[0]
+		snapshot := append([]float64(nil), w...)
+		baseVersion := version
+		finish := eng.Now() + c.Latency()
+		if finish > cfg.Duration {
+			return
+		}
+		eng.ScheduleAt(finish, func() {
+			update := pop.LocalTrain(rng, c, snapshot, 0)
+			res.Participation[c.ID]++
+			alpha := StalenessAlpha(cfg.Alpha, float64(version-baseVersion), 1.0)
+			AsyncMix(w, update, alpha)
+			version++
+			res.Rounds++
+			dyn.advance(rng, pop, eng.Now())
+			if eng.Now()-lastEval >= cfg.EvalInterval {
+				res.record(eng.Now(), pop.Evaluate(w))
+				lastEval = eng.Now()
+			}
+			dispatch()
+		})
+	}
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		dispatch()
+	}
+	eng.Run(0)
+	return res
+}
+
+// ---------------------------------------------------------------- Hierarchical
+
+// GroupingKind selects how clients are grouped.
+type GroupingKind int
+
+const (
+	// GroupEcoFL is the Eq. 4 joint latency+data grouping.
+	GroupEcoFL GroupingKind = iota
+	// GroupLatencyOnly reproduces FedAT's response-latency tiers.
+	GroupLatencyOnly
+	// GroupDataOnly reproduces Astraea's data-balancing clusters.
+	GroupDataOnly
+)
+
+func (k GroupingKind) String() string {
+	switch k {
+	case GroupEcoFL:
+		return "eco-fl"
+	case GroupLatencyOnly:
+		return "latency-only"
+	case GroupDataOnly:
+		return "data-only"
+	}
+	return fmt.Sprintf("GroupingKind(%d)", int(k))
+}
+
+// HierOptions configures a hierarchical (grouped) FL run.
+type HierOptions struct {
+	Name     string
+	Grouping GroupingKind
+	// DynamicRegroup enables Algorithm 1's runtime monitoring (Eco-FL);
+	// disabling it yields the paper's "w/o DG" ablation.
+	DynamicRegroup bool
+	// FedATWeighting up-weights slower groups in the global mix, FedAT's
+	// bias correction.
+	FedATWeighting bool
+	// GuidedSelection picks high-loss clients inside each group instead of
+	// sampling uniformly (Oort-style statistical utility, 10% exploration).
+	GuidedSelection bool
+	// TrackGroups records each group model's own accuracy curve.
+	TrackGroups bool
+}
+
+// RunHierarchical simulates a grouping-based hierarchical FL system:
+// synchronous FedProx rounds inside each group, asynchronous mixing of group
+// models into the global model (§5.1), and optionally Algorithm 1's dynamic
+// regrouping.
+func RunHierarchical(pop *Population, opts HierOptions) *RunResult {
+	cfg := pop.Config
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	name := opts.Name
+	if name == "" {
+		name = "hier-" + opts.Grouping.String()
+	}
+	res := &RunResult{Strategy: name, Participation: make([]int, len(pop.Clients))}
+	grouper := &Grouper{Lambda: cfg.Lambda, RT: cfg.RTThreshold, NumClasses: pop.TestClasses()}
+
+	var groups []*Group
+	switch opts.Grouping {
+	case GroupLatencyOnly:
+		groups = grouper.LatencyOnlyGrouping(rng, pop.Clients, cfg.NumGroups)
+	case GroupDataOnly:
+		groups = grouper.DataOnlyGrouping(rng, pop.Clients, cfg.NumGroups)
+	default:
+		groups = grouper.InitialGrouping(rng, pop.Clients, cfg.NumGroups)
+	}
+
+	w := pop.GlobalInit()
+	groupModel := make(map[*Group][]float64, len(groups))
+	roundsSinceSync := make(map[*Group]int, len(groups))
+	for _, g := range groups {
+		groupModel[g] = append([]float64(nil), w...)
+	}
+	perGroup := cfg.MaxConcurrent / len(groups)
+	if perGroup < 1 {
+		perGroup = 1
+	}
+	var meanCenter float64
+	for _, g := range groups {
+		meanCenter += g.Center
+	}
+	meanCenter /= float64(len(groups))
+
+	dyn := dynamics{next: cfg.DynamicInterval, cfg: cfg}
+	lastEval := math.Inf(-1)
+	var eng sim.Engine
+	var scheduleRound func(g *Group)
+	scheduleRound = func(g *Group) {
+		start := eng.Now()
+		if start > cfg.Duration {
+			return
+		}
+		if len(g.Members) == 0 {
+			// Empty group: re-check after a mean delay (members may be
+			// regrouped into it later).
+			eng.Schedule(cfg.MeanDelay, func() { scheduleRound(g) })
+			return
+		}
+		var sel []*Client
+		if opts.GuidedSelection {
+			sel = sampleGuided(rng, g.Members, perGroup, 0.1)
+		} else {
+			sel = sample(rng, g.Members, perGroup)
+		}
+		if len(sel) == 0 {
+			eng.Schedule(cfg.MeanDelay, func() { scheduleRound(g) })
+			return
+		}
+		var roundTime float64
+		for _, c := range sel {
+			if l := c.Latency(); l > roundTime {
+				roundTime = l
+			}
+		}
+		eng.Schedule(roundTime, func() {
+			now := eng.Now()
+			updates := make([][]float64, len(sel))
+			weights := make([]float64, len(sel))
+			ref := groupModel[g]
+			for i, c := range sel {
+				updates[i] = pop.LocalTrain(rng, c, ref, cfg.Mu)
+				weights[i] = float64(c.Train.Len())
+				res.Participation[c.ID]++
+			}
+			groupW := WeightedAverage(updates, weights)
+			copy(groupModel[g], groupW)
+			res.Rounds++
+			roundsSinceSync[g]++
+			if roundsSinceSync[g] >= cfg.GroupSyncEvery {
+				// Push the group model to the async aggregator and pull
+				// the fresh global as the next sync-round's base (§5.1).
+				roundsSinceSync[g] = 0
+				alpha := cfg.Alpha
+				if opts.FedATWeighting && meanCenter > 0 {
+					alpha = math.Min(0.9, cfg.Alpha*g.Center/meanCenter)
+				}
+				AsyncMix(w, groupW, alpha)
+				copy(groupModel[g], w)
+			}
+
+			if dyn.advance(rng, pop, now) && opts.DynamicRegroup {
+				for _, gg := range groups {
+					grouper.CheckAndRegroup(gg, groups)
+				}
+				for _, c := range pop.Clients {
+					grouper.TryReadmit(c, groups)
+				}
+			}
+			if now-lastEval >= cfg.EvalInterval {
+				res.record(now, pop.Evaluate(w))
+				lastEval = now
+			}
+			if opts.TrackGroups {
+				if res.GroupCurves == nil {
+					res.GroupCurves = make(map[int][]Point)
+				}
+				res.GroupCurves[g.ID] = append(res.GroupCurves[g.ID],
+					Point{Time: now, Accuracy: pop.Evaluate(groupW)})
+			}
+			scheduleRound(g)
+		})
+	}
+	for _, g := range groups {
+		scheduleRound(g)
+	}
+	eng.Run(0)
+	res.AvgJS = AvgGroupJS(groups, pop.TestClasses())
+	res.AvgLatency = AvgGroupLatency(groups)
+	for _, c := range pop.Clients {
+		if c.Dropped {
+			res.Dropped++
+		}
+	}
+	return res
+}

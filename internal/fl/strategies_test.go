@@ -1,0 +1,280 @@
+package fl
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecofl/internal/data"
+	"ecofl/internal/nn"
+)
+
+func TestGroupSyncEveryDelaysGlobalMixing(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Duration = 600
+	run := func(every int) (*RunResult, *Population) {
+		c := cfg
+		c.GroupSyncEvery = every
+		pop := testPopulation(30, 24, c)
+		return RunHierarchical(pop, HierOptions{Grouping: GroupEcoFL}), pop
+	}
+	one, _ := run(1)
+	three, _ := run(3)
+	// Group rounds happen at the same cadence regardless of sync period.
+	if three.Rounds == 0 || one.Rounds == 0 {
+		t.Fatal("both runs must complete rounds")
+	}
+	// With a longer sync period, the global model receives fewer mixes, so
+	// its curve is coarser but still learns.
+	if three.FinalAccuracy < 0.25 {
+		t.Fatalf("GroupSyncEvery=3 still must learn, got %.3f", three.FinalAccuracy)
+	}
+}
+
+func TestFedATWeightingFavorsSlowGroups(t *testing.T) {
+	pop := testPopulation(31, 30, fastConfig())
+	gr := &Grouper{Lambda: 0, RT: 1e9, NumClasses: 10}
+	groups := gr.LatencyOnlyGrouping(rand.New(rand.NewSource(1)), pop.Clients, 4)
+	var meanCenter float64
+	for _, g := range groups {
+		meanCenter += g.Center
+	}
+	meanCenter /= float64(len(groups))
+	// The slowest group's center exceeds the mean, so its effective α is
+	// above the base; the fastest is below — FedAT's bias correction.
+	slow, fast := groups[len(groups)-1], groups[0]
+	if slow.Center <= meanCenter || fast.Center >= meanCenter {
+		t.Skip("degenerate grouping for this seed")
+	}
+	base := 0.4
+	alphaSlow := base * slow.Center / meanCenter
+	alphaFast := base * fast.Center / meanCenter
+	if !(alphaSlow > base && alphaFast < base) {
+		t.Fatalf("FedAT weighting broken: slow %.3f, fast %.3f, base %.3f", alphaSlow, alphaFast, base)
+	}
+}
+
+func TestDynamicRegroupDuringRun(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Dynamic = true
+	cfg.DynamicProb = 0.6
+	cfg.DynamicInterval = 60
+	cfg.Duration = 900
+	cfg.RTThreshold = 10
+	cfg.Lambda = 200
+	popDG := testPopulation(32, 30, cfg)
+	withDG := RunHierarchical(popDG, HierOptions{Grouping: GroupEcoFL, DynamicRegroup: true})
+	popNoDG := testPopulation(32, 30, cfg)
+	without := RunHierarchical(popNoDG, HierOptions{Grouping: GroupEcoFL})
+	if withDG.Rounds == 0 || without.Rounds == 0 {
+		t.Fatal("both runs must progress")
+	}
+	// Under heavy dynamics with a tight threshold, DG maintains at least
+	// the same aggregation cadence (stragglers are moved out of groups).
+	if withDG.Rounds < without.Rounds*8/10 {
+		t.Fatalf("dynamic regrouping should not collapse cadence: %d vs %d", withDG.Rounds, without.Rounds)
+	}
+}
+
+func TestAllClientsDroppedIsHandled(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Duration = 200
+	pop := testPopulation(33, 10, cfg)
+	for _, c := range pop.Clients {
+		c.Dropped = true
+	}
+	res := RunFedAvg(pop)
+	if res.Rounds != 0 {
+		t.Fatal("no active clients → no rounds")
+	}
+	res2 := RunFedAsync(pop)
+	if res2.Rounds != 0 {
+		t.Fatal("FedAsync with no clients must terminate cleanly")
+	}
+}
+
+func TestHierarchicalReportsDropped(t *testing.T) {
+	cfg := fastConfig()
+	cfg.RTThreshold = 2 // draconian: many clients fit no group
+	cfg.Duration = 300
+	pop := testPopulation(34, 30, cfg)
+	res := RunHierarchical(pop, HierOptions{Grouping: GroupEcoFL})
+	if res.Dropped == 0 {
+		t.Fatal("a tiny RT threshold should drop clients")
+	}
+	if res.Dropped >= len(pop.Clients) {
+		t.Fatal("not everyone can be dropped: K-means centers sit on clients")
+	}
+}
+
+func TestCurveTimesWithinDuration(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Duration = 500
+	for name, run := range map[string]func(*Population) *RunResult{
+		"fedavg":   RunFedAvg,
+		"fedasync": RunFedAsync,
+		"hier": func(p *Population) *RunResult {
+			return RunHierarchical(p, HierOptions{Grouping: GroupEcoFL})
+		},
+	} {
+		pop := testPopulation(35, 16, cfg)
+		res := run(pop)
+		for _, p := range res.Curve {
+			// FedAvg rounds can overrun slightly (round completes past the
+			// horizon); allow one mean round of slack.
+			if p.Time > cfg.Duration+100 {
+				t.Fatalf("%s recorded a point at %v beyond duration", name, p.Time)
+			}
+		}
+	}
+}
+
+func TestParticipationTracked(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Duration = 400
+	pop := testPopulation(40, 16, cfg)
+	res := RunFedAvg(pop)
+	total := 0
+	for _, n := range res.Participation {
+		total += n
+	}
+	if total != res.Rounds*cfg.MaxConcurrent && total == 0 {
+		t.Fatalf("participation total %d inconsistent with %d rounds", total, res.Rounds)
+	}
+	if len(res.Participation) != len(pop.Clients) {
+		t.Fatal("participation vector must cover all clients")
+	}
+}
+
+func TestGuidedSelectionPrefersHighLoss(t *testing.T) {
+	pop := testPopulation(41, 20, fastConfig())
+	rng := rand.New(rand.NewSource(1))
+	// Mark some clients with known losses; zero (unvisited) ranks first.
+	for i, c := range pop.Clients {
+		c.LastLoss = float64(i+1) * 0.1
+	}
+	pop.Clients[3].LastLoss = 0 // unvisited
+	sel := sampleGuided(rng, pop.Clients, 5, 0)
+	found := false
+	for _, c := range sel {
+		if c == pop.Clients[3] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("unvisited client must be selected first")
+	}
+	// The rest should be the highest-loss clients.
+	for _, c := range sel {
+		if c != pop.Clients[3] && c.LastLoss < 1.6 {
+			t.Fatalf("low-loss client %v selected without exploration", c.LastLoss)
+		}
+	}
+}
+
+func TestGuidedSelectionRunsEndToEnd(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Duration = 500
+	pop := testPopulation(42, 24, cfg)
+	res := RunHierarchical(pop, HierOptions{Grouping: GroupEcoFL, GuidedSelection: true})
+	if res.Rounds == 0 || res.FinalAccuracy < 0.3 {
+		t.Fatalf("guided selection run failed: rounds %d acc %.3f", res.Rounds, res.FinalAccuracy)
+	}
+	// LastLoss must have been populated by training.
+	touched := 0
+	for _, c := range pop.Clients {
+		if c.LastLoss > 0 {
+			touched++
+		}
+	}
+	if touched == 0 {
+		t.Fatal("training must record client losses")
+	}
+}
+
+// Federated learning with a convolutional global model on image-shaped
+// shards — the paper's CNN setting end to end.
+func TestHierarchicalWithCNNProto(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	ds := data.ImageLike(rng, 720, 12, 4, 0.4)
+	_, test := ds.Split(0.85)
+	shards := data.PartitionByClasses(rng, ds, 12, 2)
+	tx, ty := test.Materialize()
+	proto := nn.NewNetwork(
+		nn.NewConv2D(rand.New(rand.NewSource(51)), 1, 4, 3, 1, 1),
+		nn.ReLU{},
+		nn.MaxPool2D{K: 2, Stride: 2},
+		nn.Flatten{},
+		nn.NewDense(rand.New(rand.NewSource(52)), 4*6*6, 4),
+	)
+	cfg := fastConfig()
+	cfg.Duration = 500
+	cfg.LocalEpochs = 1
+	pop := NewPopulationWithProto(rng, shards, tx, ty, cfg, proto)
+	res := RunHierarchical(pop, HierOptions{Grouping: GroupEcoFL, DynamicRegroup: true})
+	if res.Rounds == 0 {
+		t.Fatal("CNN FL must complete rounds")
+	}
+	if res.FinalAccuracy < 0.5 {
+		t.Fatalf("CNN FL accuracy %.3f too low", res.FinalAccuracy)
+	}
+}
+
+func TestTiFLRunsAndLearns(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Duration = 800
+	pop := testPopulation(60, 30, cfg)
+	res := RunTiFL(pop)
+	if res.Rounds == 0 {
+		t.Fatal("TiFL must complete rounds")
+	}
+	if res.FinalAccuracy < 0.4 {
+		t.Fatalf("TiFL accuracy %.3f too low", res.FinalAccuracy)
+	}
+	// Credits must spread participation across tiers: slow clients train too.
+	trained := 0
+	for _, n := range res.Participation {
+		if n > 0 {
+			trained++
+		}
+	}
+	if trained < len(pop.Clients)/2 {
+		t.Fatalf("TiFL credits should spread participation, only %d/%d trained", trained, len(pop.Clients))
+	}
+}
+
+func TestTiFLFasterRoundsThanFedAvg(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Duration = 800
+	tifl := RunTiFL(testPopulation(61, 30, cfg))
+	avg := RunFedAvg(testPopulation(61, 30, cfg))
+	// Tiered rounds wait only for the selected tier, so TiFL completes
+	// more rounds in the same virtual time.
+	if tifl.Rounds <= avg.Rounds {
+		t.Fatalf("TiFL (%d rounds) should out-pace FedAvg (%d rounds)", tifl.Rounds, avg.Rounds)
+	}
+}
+
+func TestTrackGroupsRecordsPerGroupCurves(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Duration = 400
+	pop := testPopulation(70, 20, cfg)
+	res := RunHierarchical(pop, HierOptions{Grouping: GroupEcoFL, TrackGroups: true})
+	if len(res.GroupCurves) == 0 {
+		t.Fatal("TrackGroups must record per-group curves")
+	}
+	for id, curve := range res.GroupCurves {
+		if len(curve) == 0 {
+			t.Fatalf("group %d has an empty curve", id)
+		}
+		for i := 1; i < len(curve); i++ {
+			if curve[i].Time < curve[i-1].Time {
+				t.Fatalf("group %d curve times must be non-decreasing", id)
+			}
+		}
+	}
+	// Untracked runs carry no group curves.
+	pop2 := testPopulation(70, 20, cfg)
+	if res2 := RunHierarchical(pop2, HierOptions{Grouping: GroupEcoFL}); res2.GroupCurves != nil {
+		t.Fatal("group curves must be nil when not tracked")
+	}
+}

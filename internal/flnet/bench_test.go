@@ -1,0 +1,69 @@
+package flnet
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+)
+
+func benchServer(b *testing.B, n int) (*Server, *Client) {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewServer(ln, make([]float64, n), 0.5)
+	b.Cleanup(func() { s.Close() })
+	c, err := Dial(s.Addr(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	return s, c
+}
+
+// BenchmarkPushRaw measures full-precision push round-trips for a
+// 100k-parameter model over TCP loopback.
+func BenchmarkPushRaw(b *testing.B) {
+	const n = 100_000
+	_, c := benchServer(b, n)
+	rng := rand.New(rand.NewSource(1))
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	v := 0
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, v, err = c.Push(w, 10, v)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(n * 8)
+}
+
+// BenchmarkPushQuantized measures the int8-quantized uplink: ~8× fewer
+// payload bytes per push.
+func BenchmarkPushQuantized(b *testing.B) {
+	const n = 100_000
+	_, c := benchServer(b, n)
+	rng := rand.New(rand.NewSource(2))
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	v := 0
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, v, err = c.PushQuantized(w, 10, v)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(n) // one byte per weight on the wire
+}

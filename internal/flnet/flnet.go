@@ -1,0 +1,216 @@
+// Package flnet is the wire protocol between Eco-FL portal nodes and the
+// Eco-FL server: a minimal TCP + gob transport over which a portal pulls
+// the current global (or group) model and pushes its locally trained update,
+// receiving the freshly mixed model in return. The server applies the
+// asynchronous aggregation of §5.1 — w ← (1−α)w + α·w_new with a
+// staleness-attenuated α — under a mutex, so any number of portals can push
+// concurrently. This is the "prototype" transport counterpart of the
+// virtual-time simulator in internal/fl.
+package flnet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"ecofl/internal/fl"
+)
+
+// request is the client→server message. A push carries either raw Weights
+// or a Quantized payload (mutually exclusive).
+type request struct {
+	Kind        string // "pull" or "push"
+	ClientID    int
+	Weights     []float64
+	Quant       *Quantized
+	NumSamples  int
+	BaseVersion int
+}
+
+// reply is the server→client message.
+type reply struct {
+	Weights []float64
+	Version int
+	Err     string
+}
+
+// Server owns the global model and serves pull/push requests.
+type Server struct {
+	// Alpha is the base mixing weight; StalenessExp the polynomial
+	// staleness attenuation exponent (0 disables attenuation).
+	Alpha        float64
+	StalenessExp float64
+
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu      sync.Mutex
+	weights []float64
+	version int
+	pushes  int
+}
+
+// NewServer creates a server holding the initial global weights and starts
+// accepting connections on ln. Close the server to stop.
+func NewServer(ln net.Listener, init []float64, alpha float64) *Server {
+	s := &Server{
+		Alpha:        alpha,
+		StalenessExp: 1.0,
+		ln:           ln,
+		weights:      append([]float64(nil), init...),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listen address, e.g. to hand to Dial.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting connections and waits for the accept loop.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Snapshot returns a copy of the current global weights and model version.
+func (s *Server) Snapshot() ([]float64, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.weights...), s.version
+}
+
+// Pushes returns the number of accepted updates.
+func (s *Server) Pushes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pushes
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // connection done
+		}
+		var rep reply
+		switch req.Kind {
+		case "pull":
+			rep.Weights, rep.Version = s.Snapshot()
+		case "push":
+			if err := s.apply(&req); err != nil {
+				rep.Err = err.Error()
+			} else {
+				rep.Weights, rep.Version = s.Snapshot()
+			}
+		default:
+			rep.Err = fmt.Sprintf("flnet: unknown request kind %q", req.Kind)
+		}
+		if err := enc.Encode(&rep); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) apply(req *request) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	update := req.Weights
+	if update == nil {
+		if req.Quant == nil {
+			return errNoPayload
+		}
+		update = req.Quant.Dequantize()
+	}
+	req.Weights = update
+	if len(req.Weights) != len(s.weights) {
+		return fmt.Errorf("flnet: update has %d weights, model has %d", len(req.Weights), len(s.weights))
+	}
+	staleness := float64(s.version - req.BaseVersion)
+	alpha := fl.StalenessAlpha(s.Alpha, staleness, s.StalenessExp)
+	fl.AsyncMix(s.weights, req.Weights, alpha)
+	s.version++
+	s.pushes++
+	return nil
+}
+
+// Client is a portal-side connection to the Eco-FL server.
+type Client struct {
+	ID   int
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	mu   sync.Mutex
+}
+
+// Dial connects a portal to the server.
+func Dial(addr string, id int) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{ID: id, conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req *request) (*reply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	var rep reply
+	if err := c.dec.Decode(&rep); err != nil {
+		return nil, err
+	}
+	if rep.Err != "" {
+		return nil, errors.New(rep.Err)
+	}
+	return &rep, nil
+}
+
+// Pull fetches the current global weights and version.
+func (c *Client) Pull() ([]float64, int, error) {
+	rep, err := c.roundTrip(&request{Kind: "pull", ClientID: c.ID})
+	if err != nil {
+		return nil, 0, err
+	}
+	return rep.Weights, rep.Version, nil
+}
+
+// Push submits an update trained from baseVersion and returns the freshly
+// mixed global model (saving the portal a second round trip, as the paper's
+// portal does when re-entering the next sync-round).
+func (c *Client) Push(weights []float64, samples, baseVersion int) ([]float64, int, error) {
+	rep, err := c.roundTrip(&request{
+		Kind: "push", ClientID: c.ID, Weights: weights,
+		NumSamples: samples, BaseVersion: baseVersion,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return rep.Weights, rep.Version, nil
+}

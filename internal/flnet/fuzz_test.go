@@ -1,0 +1,35 @@
+package flnet
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzQuantizeRoundTrip checks the quantization error bound on arbitrary
+// 4-element vectors (runs the seed corpus under plain `go test`; use
+// `go test -fuzz=FuzzQuantizeRoundTrip` for continuous fuzzing).
+func FuzzQuantizeRoundTrip(f *testing.F) {
+	f.Add(0.0, 1.0, -1.0, 2.5)
+	f.Add(3.0, 3.0, 3.0, 3.0)
+	f.Add(-1e9, 1e9, 0.0, 42.0)
+	f.Add(1e-12, -1e-12, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		w := []float64{a, b, c, d}
+		for _, v := range w {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip()
+			}
+		}
+		q := Quantize(w)
+		back := q.Dequantize()
+		if len(back) != len(w) {
+			t.Fatalf("length changed: %d", len(back))
+		}
+		bound := q.MaxError() * (1 + 1e-9)
+		for i := range w {
+			if diff := math.Abs(w[i] - back[i]); diff > bound+1e-300 {
+				t.Fatalf("element %d: error %v exceeds bound %v", i, diff, bound)
+			}
+		}
+	})
+}

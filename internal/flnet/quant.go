@@ -1,0 +1,65 @@
+package flnet
+
+import (
+	"errors"
+	"math"
+)
+
+// Quantized is an affine int8 quantization of a float64 vector: each value
+// maps to round((v − Min) / Scale) ∈ [0, 255], stored in one byte — an 8×
+// smaller uplink payload than raw float64 weights, the standard
+// communication-efficiency lever in FL systems.
+type Quantized struct {
+	Min   float64
+	Scale float64
+	Data  []uint8
+}
+
+// Quantize encodes w. A constant vector quantizes with Scale 0.
+func Quantize(w []float64) *Quantized {
+	if len(w) == 0 {
+		return &Quantized{}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range w {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	q := &Quantized{Min: lo, Data: make([]uint8, len(w))}
+	if hi > lo {
+		q.Scale = (hi - lo) / 255
+		for i, v := range w {
+			q.Data[i] = uint8(math.Round((v - lo) / q.Scale))
+		}
+	}
+	return q
+}
+
+// Dequantize reconstructs the vector (max error Scale/2 per element).
+func (q *Quantized) Dequantize() []float64 {
+	out := make([]float64, len(q.Data))
+	for i, b := range q.Data {
+		out[i] = q.Min + float64(b)*q.Scale
+	}
+	return out
+}
+
+// MaxError returns the worst-case reconstruction error per element.
+func (q *Quantized) MaxError() float64 { return q.Scale / 2 }
+
+// PushQuantized submits a quantized update; the server dequantizes before
+// mixing. The returned global model is full precision.
+func (c *Client) PushQuantized(w []float64, samples, baseVersion int) ([]float64, int, error) {
+	rep, err := c.roundTrip(&request{
+		Kind: "push", ClientID: c.ID, Quant: Quantize(w),
+		NumSamples: samples, BaseVersion: baseVersion,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return rep.Weights, rep.Version, nil
+}
+
+// errNoPayload is returned when a push carries neither raw nor quantized
+// weights.
+var errNoPayload = errors.New("flnet: push carries no weights")

@@ -1,0 +1,84 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ecofl/internal/nn"
+)
+
+// Trainable pairs a cost Spec with an executable network whose blocks align
+// one-to-one with the Spec's layers, so a partition decision computed on the
+// cost model can be applied directly to real training (the quickstart and
+// the gradient-equivalence runtime use this).
+type Trainable struct {
+	Spec   *Spec
+	Blocks [][]nn.Layer // Blocks[i] executes Spec.Layers[i]
+	// InputShape is the per-sample input tensor shape (e.g. [dim] for an
+	// MLP, [C,H,W] for a CNN).
+	InputShape []int
+}
+
+// NewTrainableMLP builds a block-structured MLP: one Dense(+ReLU) block per
+// hidden width plus a final linear classifier block. The companion Spec's
+// costs are derived from the true tensor dimensions (8-byte float64
+// scalars), so partitioning the Spec partitions the real network
+// consistently.
+func NewTrainableMLP(rng *rand.Rand, name string, inDim int, hidden []int, classes int) *Trainable {
+	dims := append([]int{inDim}, hidden...)
+	dims = append(dims, classes)
+	t := &Trainable{Spec: &Spec{Name: name, InputBytes: float64(inDim) * 8}, InputShape: []int{inDim}}
+	for i := 0; i+1 < len(dims); i++ {
+		in, out := dims[i], dims[i+1]
+		var block []nn.Layer
+		block = append(block, nn.NewDense(rng, in, out))
+		last := i+2 == len(dims)
+		if !last {
+			block = append(block, nn.ReLU{})
+		}
+		t.Blocks = append(t.Blocks, block)
+		actBytes := float64(out) * 8
+		t.Spec.Layers = append(t.Spec.Layers, LayerCost{
+			Name:            fmt.Sprintf("dense%02d", i),
+			FwdFLOPs:        2 * float64(in) * float64(out),
+			ActivationBytes: actBytes,
+			GradientBytes:   actBytes,
+			ResidentBytes:   float64(in)*8 + actBytes, // stored input + output
+			ParamBytes:      float64(in*out+out) * 8,
+		})
+	}
+	return t
+}
+
+// Network returns the full sequential network over all blocks. The returned
+// network shares parameters with the Trainable's blocks.
+func (t *Trainable) Network() *nn.Network {
+	var layers []nn.Layer
+	for _, b := range t.Blocks {
+		layers = append(layers, b...)
+	}
+	return nn.NewNetwork(layers...)
+}
+
+// SegmentNet returns a network over blocks [i, j), sharing parameters with
+// the Trainable — the model segment a pipeline stage executes.
+func (t *Trainable) SegmentNet(i, j int) *nn.Network {
+	var layers []nn.Layer
+	for _, b := range t.Blocks[i:j] {
+		layers = append(layers, b...)
+	}
+	return nn.NewNetwork(layers...)
+}
+
+// Clone deep-copies the trainable (independent parameters).
+func (t *Trainable) Clone() *Trainable {
+	out := &Trainable{Spec: t.Spec, InputShape: t.InputShape}
+	for _, b := range t.Blocks {
+		nb := make([]nn.Layer, len(b))
+		for i, l := range b {
+			nb[i] = l.Clone()
+		}
+		out.Blocks = append(out.Blocks, nb)
+	}
+	return out
+}

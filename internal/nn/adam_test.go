@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ecofl/internal/tensor"
+)
+
+func sepData(rng *rand.Rand, n, dim, classes int) (*tensor.Tensor, []int) {
+	x := tensor.Randn(rng, 1, n, dim)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % classes
+		x.Data[i*dim+labels[i]] += 2.5
+	}
+	return x, labels
+}
+
+func TestAdamLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewMLP(rng, 8, 16, 3)
+	x, labels := sepData(rng, 30, 8, 3)
+	opt := &Adam{LR: 0.01}
+	before := net.Loss(x, labels)
+	for i := 0; i < 100; i++ {
+		net.TrainBatchWith(x, labels, opt)
+	}
+	after := net.Loss(x, labels)
+	if after > before/4 {
+		t.Fatalf("Adam failed to learn: %v → %v", before, after)
+	}
+}
+
+func TestAdamFasterThanSGDOnIllConditioned(t *testing.T) {
+	// Scale one input feature by 100: plain SGD struggles with the
+	// resulting gradient imbalance, Adam normalizes per-coordinate.
+	build := func() (*Network, *tensor.Tensor, []int) {
+		rng := rand.New(rand.NewSource(2))
+		net := NewMLP(rand.New(rand.NewSource(3)), 6, 12, 2)
+		x, labels := sepData(rng, 40, 6, 2)
+		for i := 0; i < 40; i++ {
+			x.Data[i*6+5] *= 100
+		}
+		return net, x, labels
+	}
+	run := func(opt Optimizer) float64 {
+		net, x, labels := build()
+		for i := 0; i < 40; i++ {
+			net.TrainBatchWith(x, labels, opt)
+		}
+		return net.Loss(x, labels)
+	}
+	sgd := run(&SGD{LR: 1e-4}) // any larger diverges on the scaled feature
+	adam := run(&Adam{LR: 0.01})
+	if adam >= sgd {
+		t.Fatalf("Adam (%v) should beat tiny-LR SGD (%v) on ill-conditioned input", adam, sgd)
+	}
+}
+
+func TestAdamProximalPullsTowardGlobal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := NewMLP(rng, 3, 3)
+	global := make([]float64, net.NumParams())
+	opt := &Adam{LR: 0.05, Mu: 2.0, Global: global}
+	net.ZeroGrads()
+	before := 0.0
+	for _, p := range net.Params() {
+		before += p.Value.Norm2()
+	}
+	for i := 0; i < 200; i++ {
+		opt.Step(net.Params())
+	}
+	after := 0.0
+	for _, p := range net.Params() {
+		after += p.Value.Norm2()
+	}
+	if after >= before*0.1 {
+		t.Fatalf("Adam proximal term should shrink ‖w‖: %v → %v", before, after)
+	}
+}
+
+func TestLRSchedules(t *testing.T) {
+	c := ConstantLR(0.1)
+	if c(0) != 0.1 || c(1000) != 0.1 {
+		t.Fatal("ConstantLR must be constant")
+	}
+	s := StepDecay(1.0, 0.5, 10)
+	if s(0) != 1.0 || s(9) != 1.0 {
+		t.Fatal("StepDecay must hold within an interval")
+	}
+	if s(10) != 0.5 || s(25) != 0.25 {
+		t.Fatalf("StepDecay wrong: s(10)=%v s(25)=%v", s(10), s(25))
+	}
+	cd := CosineDecay(1.0, 0.1, 100)
+	if math.Abs(cd(0)-1.0) > 1e-12 {
+		t.Fatalf("cosine start %v", cd(0))
+	}
+	if math.Abs(cd(50)-0.55) > 1e-12 {
+		t.Fatalf("cosine midpoint %v, want 0.55", cd(50))
+	}
+	if cd(100) != 0.1 || cd(500) != 0.1 {
+		t.Fatal("cosine must hold the floor past the horizon")
+	}
+	// Monotone non-increasing on [0, horizon].
+	prev := cd(0)
+	for i := 1; i <= 100; i++ {
+		if cd(i) > prev+1e-12 {
+			t.Fatalf("cosine must not increase: step %d", i)
+		}
+		prev = cd(i)
+	}
+}

@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecofl/internal/tensor"
+)
+
+func BenchmarkTrainBatchMLP(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewMLP(rng, 32, 64, 10)
+	x := tensor.Randn(rng, 1, 32, 32)
+	labels := make([]int, 32)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	opt := &SGD{LR: 0.05}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.TrainBatch(x, labels, opt)
+	}
+}
+
+func BenchmarkConv2DForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewConv2D(rng, 8, 16, 3, 1, 1)
+	x := tensor.Randn(rng, 1, 4, 8, 16, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Forward(x)
+	}
+}
+
+func BenchmarkConv2DBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewConv2D(rng, 8, 16, 3, 1, 1)
+	x := tensor.Randn(rng, 1, 4, 8, 16, 16)
+	y, cache := c.Forward(x)
+	dy := tensor.Randn(rng, 1, y.Shape...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Backward(cache, dy)
+	}
+}
+
+func BenchmarkSoftmaxCrossEntropy(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	logits := tensor.Randn(rng, 1, 64, 10)
+	labels := make([]int, 64)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SoftmaxCrossEntropy(logits, labels)
+	}
+}

@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// checkpoint is the serialized form of a network's parameters. The shapes
+// act as an architecture fingerprint so a checkpoint cannot be loaded into
+// a mismatched network.
+type checkpoint struct {
+	ParamShapes [][]int
+	Weights     []float64
+}
+
+// Save writes the network's parameters (gob-encoded) to w. Only weights are
+// saved; the architecture is reconstructed by the loading code.
+func (n *Network) Save(w io.Writer) error {
+	ck := checkpoint{Weights: n.FlatWeights()}
+	for _, p := range n.Params() {
+		ck.ParamShapes = append(ck.ParamShapes, append([]int(nil), p.Value.Shape...))
+	}
+	return gob.NewEncoder(w).Encode(&ck)
+}
+
+// Load restores parameters previously written by Save into a network with
+// the identical architecture.
+func (n *Network) Load(r io.Reader) error {
+	var ck checkpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return fmt.Errorf("nn: decode checkpoint: %w", err)
+	}
+	params := n.Params()
+	if len(ck.ParamShapes) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d params, network has %d", len(ck.ParamShapes), len(params))
+	}
+	for i, p := range params {
+		want := ck.ParamShapes[i]
+		if len(want) != len(p.Value.Shape) {
+			return fmt.Errorf("nn: param %d shape mismatch: %v vs %v", i, want, p.Value.Shape)
+		}
+		for j := range want {
+			if want[j] != p.Value.Shape[j] {
+				return fmt.Errorf("nn: param %d shape mismatch: %v vs %v", i, want, p.Value.Shape)
+			}
+		}
+	}
+	if len(ck.Weights) != n.NumParams() {
+		return fmt.Errorf("nn: checkpoint has %d weights, network wants %d", len(ck.Weights), n.NumParams())
+	}
+	n.SetFlatWeights(ck.Weights)
+	return nil
+}
+
+// SaveFile writes a checkpoint to path.
+func (n *Network) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = n.Save(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// LoadFile restores a checkpoint from path.
+func (n *Network) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return n.Load(f)
+}

@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"ecofl/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMLP(rng, 6, 10, 4)
+	b := NewMLP(rng, 6, 10, 4) // different init
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Randn(rng, 1, 3, 6)
+	ya, _ := a.Forward(x)
+	yb, _ := b.Forward(x)
+	if !tensor.Equal(ya, yb) {
+		t.Fatal("loaded network must reproduce outputs exactly")
+	}
+}
+
+func TestCheckpointArchitectureMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewMLP(rng, 6, 10, 4)
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wrongWidth := NewMLP(rng, 6, 12, 4)
+	if err := wrongWidth.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("mismatched hidden width must be rejected")
+	}
+	wrongDepth := NewMLP(rng, 6, 10, 10, 4)
+	if err := wrongDepth.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("mismatched depth must be rejected")
+	}
+}
+
+func TestCheckpointFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewNetwork(NewConv2D(rng, 1, 4, 3, 1, 1), ReLU{}, Flatten{}, NewDense(rng, 4*8*8, 3))
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := a.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b := NewNetwork(NewConv2D(rng, 1, 4, 3, 1, 1), ReLU{}, Flatten{}, NewDense(rng, 4*8*8, 3))
+	if err := b.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Randn(rng, 1, 2, 1, 8, 8)
+	ya, _ := a.Forward(x)
+	yb, _ := b.Forward(x)
+	if !tensor.Equal(ya, yb) {
+		t.Fatal("CNN checkpoint must round-trip through a file")
+	}
+	if err := b.LoadFile(filepath.Join(t.TempDir(), "missing.ckpt")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestCheckpointGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := NewMLP(rng, 3, 2)
+	if err := n.Load(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Fatal("garbage input must error")
+	}
+}

@@ -1,0 +1,251 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ecofl/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW tensors, implemented as im2col +
+// matmul. Shapes: input (batch, InC, H, W) → output (batch, OutC, H', W')
+// with H' = (H + 2·Pad − K)/Stride + 1.
+type Conv2D struct {
+	InC, OutC, K, Stride, Pad int
+	W                         *Param // (OutC, InC·K·K)
+	B                         *Param // (OutC)
+}
+
+// NewConv2D creates a convolution with Kaiming initialization.
+func NewConv2D(rng *rand.Rand, inC, outC, k, stride, pad int) *Conv2D {
+	if k <= 0 || stride <= 0 || inC <= 0 || outC <= 0 || pad < 0 {
+		panic("nn: invalid Conv2D geometry")
+	}
+	fanIn := inC * k * k
+	std := math.Sqrt(2.0 / float64(fanIn))
+	return &Conv2D{
+		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		W: &Param{Name: fmt.Sprintf("conv%dx%dk%d.W", inC, outC, k),
+			Value: tensor.Randn(rng, std, outC, fanIn), Grad: tensor.New(outC, fanIn)},
+		B: &Param{Name: fmt.Sprintf("conv%dx%dk%d.b", inC, outC, k),
+			Value: tensor.New(outC), Grad: tensor.New(outC)},
+	}
+}
+
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("Conv2D(%d→%d,k%d,s%d,p%d)", c.InC, c.OutC, c.K, c.Stride, c.Pad)
+}
+
+func (c *Conv2D) outDims(h, w int) (int, int) {
+	oh := (h+2*c.Pad-c.K)/c.Stride + 1
+	ow := (w+2*c.Pad-c.K)/c.Stride + 1
+	return oh, ow
+}
+
+type convCache struct {
+	x      *tensor.Tensor
+	cols   *tensor.Tensor // (batch·OH·OW, InC·K·K)
+	h, w   int
+	oh, ow int
+}
+
+// im2col lowers the padded input into a matrix whose rows are receptive
+// fields, one row per (sample, output position).
+func (c *Conv2D) im2col(x *tensor.Tensor, h, w, oh, ow int) *tensor.Tensor {
+	batch := x.Shape[0]
+	fan := c.InC * c.K * c.K
+	cols := tensor.New(batch*oh*ow, fan)
+	for n := 0; n < batch; n++ {
+		base := n * c.InC * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				row := cols.Data[((n*oh+oy)*ow+ox)*fan : ((n*oh+oy)*ow+ox+1)*fan]
+				idx := 0
+				for ch := 0; ch < c.InC; ch++ {
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy*c.Stride + ky - c.Pad
+						for kx := 0; kx < c.K; kx++ {
+							ix := ox*c.Stride + kx - c.Pad
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								row[idx] = x.Data[base+ch*h*w+iy*w+ix]
+							}
+							idx++
+						}
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// col2im scatters column gradients back to input positions (the transpose
+// of im2col).
+func (c *Conv2D) col2im(cols *tensor.Tensor, batch, h, w, oh, ow int) *tensor.Tensor {
+	dx := tensor.New(batch, c.InC, h, w)
+	fan := c.InC * c.K * c.K
+	for n := 0; n < batch; n++ {
+		base := n * c.InC * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				row := cols.Data[((n*oh+oy)*ow+ox)*fan : ((n*oh+oy)*ow+ox+1)*fan]
+				idx := 0
+				for ch := 0; ch < c.InC; ch++ {
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy*c.Stride + ky - c.Pad
+						for kx := 0; kx < c.K; kx++ {
+							ix := ox*c.Stride + kx - c.Pad
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								dx.Data[base+ch*h*w+iy*w+ix] += row[idx]
+							}
+							idx++
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+func (c *Conv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
+	if len(x.Shape) != 4 || x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D wants (batch,%d,H,W), got %v", c.InC, x.Shape))
+	}
+	batch, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := c.outDims(h, w)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: Conv2D output empty for input %v", x.Shape))
+	}
+	cols := c.im2col(x, h, w, oh, ow)
+	// (batch·OH·OW, fan) × (OutC, fan)ᵀ → (batch·OH·OW, OutC)
+	flat := tensor.MatMulBT(cols, c.W.Value)
+	out := tensor.New(batch, c.OutC, oh, ow)
+	for n := 0; n < batch; n++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				r := ((n*oh+oy)*ow + ox) * c.OutC
+				for ch := 0; ch < c.OutC; ch++ {
+					out.Data[((n*c.OutC+ch)*oh+oy)*ow+ox] = flat.Data[r+ch] + c.B.Value.Data[ch]
+				}
+			}
+		}
+	}
+	return out, &convCache{x: x, cols: cols, h: h, w: w, oh: oh, ow: ow}
+}
+
+func (c *Conv2D) Backward(cc Cache, dy *tensor.Tensor) *tensor.Tensor {
+	cache := cc.(*convCache)
+	batch := cache.x.Shape[0]
+	oh, ow := cache.oh, cache.ow
+	// Re-layout dy (batch, OutC, OH, OW) → (batch·OH·OW, OutC).
+	flat := tensor.New(batch*oh*ow, c.OutC)
+	for n := 0; n < batch; n++ {
+		for ch := 0; ch < c.OutC; ch++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					v := dy.Data[((n*c.OutC+ch)*oh+oy)*ow+ox]
+					flat.Data[((n*oh+oy)*ow+ox)*c.OutC+ch] = v
+					c.B.Grad.Data[ch] += v
+				}
+			}
+		}
+	}
+	// dW = flatᵀ × cols;  dcols = flat × W
+	c.W.Grad.Add(tensor.MatMulAT(flat, cache.cols))
+	dcols := tensor.MatMul(flat, c.W.Value)
+	return c.col2im(dcols, batch, cache.h, cache.w, oh, ow)
+}
+
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+func (c *Conv2D) Clone() Layer {
+	return &Conv2D{
+		InC: c.InC, OutC: c.OutC, K: c.K, Stride: c.Stride, Pad: c.Pad,
+		W: &Param{Name: c.W.Name, Value: c.W.Value.Clone(), Grad: c.W.Grad.Clone()},
+		B: &Param{Name: c.B.Name, Value: c.B.Value.Clone(), Grad: c.B.Grad.Clone()},
+	}
+}
+
+// ---------------------------------------------------------------- MaxPool2D
+
+// MaxPool2D is max pooling over NCHW tensors.
+type MaxPool2D struct {
+	K, Stride int
+}
+
+func (p MaxPool2D) Name() string { return fmt.Sprintf("MaxPool2D(k%d,s%d)", p.K, p.Stride) }
+
+type poolCache struct {
+	inShape []int
+	argmax  []int // flat input index of each output element
+}
+
+func (p MaxPool2D) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("nn: MaxPool2D wants NCHW, got %v", x.Shape))
+	}
+	batch, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := (h-p.K)/p.Stride + 1
+	ow := (w-p.K)/p.Stride + 1
+	out := tensor.New(batch, ch, oh, ow)
+	arg := make([]int, out.Len())
+	oi := 0
+	for n := 0; n < batch; n++ {
+		for cch := 0; cch < ch; cch++ {
+			base := (n*ch + cch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := math.Inf(-1)
+					bestIdx := -1
+					for ky := 0; ky < p.K; ky++ {
+						for kx := 0; kx < p.K; kx++ {
+							idx := base + (oy*p.Stride+ky)*w + ox*p.Stride + kx
+							if v := x.Data[idx]; v > best {
+								best, bestIdx = v, idx
+							}
+						}
+					}
+					out.Data[oi] = best
+					arg[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return out, &poolCache{inShape: x.Shape, argmax: arg}
+}
+
+func (p MaxPool2D) Backward(c Cache, dy *tensor.Tensor) *tensor.Tensor {
+	cache := c.(*poolCache)
+	dx := tensor.New(cache.inShape...)
+	for i, idx := range cache.argmax {
+		dx.Data[idx] += dy.Data[i]
+	}
+	return dx
+}
+
+func (MaxPool2D) Params() []*Param { return nil }
+func (p MaxPool2D) Clone() Layer   { return p }
+
+// ---------------------------------------------------------------- Flatten
+
+// Flatten reshapes (batch, ...) to (batch, features). Row-major layout makes
+// this a metadata-only operation.
+type Flatten struct{}
+
+func (Flatten) Name() string { return "Flatten" }
+
+func (Flatten) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
+	out := &tensor.Tensor{Shape: []int{x.Rows(), x.Cols()}, Data: x.Data}
+	return out, x.Shape
+}
+
+func (Flatten) Backward(c Cache, dy *tensor.Tensor) *tensor.Tensor {
+	shape := c.([]int)
+	return &tensor.Tensor{Shape: append([]int(nil), shape...), Data: dy.Data}
+}
+
+func (Flatten) Params() []*Param { return nil }
+func (Flatten) Clone() Layer     { return Flatten{} }

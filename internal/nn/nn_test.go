@@ -1,0 +1,271 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ecofl/internal/tensor"
+)
+
+// numericalGrad estimates dLoss/dtheta by central differences.
+func numericalGrad(n *Network, x *tensor.Tensor, labels []int, theta *tensor.Tensor, i int) float64 {
+	const h = 1e-5
+	orig := theta.Data[i]
+	theta.Data[i] = orig + h
+	lp := n.Loss(x, labels)
+	theta.Data[i] = orig - h
+	lm := n.Loss(x, labels)
+	theta.Data[i] = orig
+	return (lp - lm) / (2 * h)
+}
+
+func TestDenseGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := NewMLP(rng, 4, 6, 3)
+	x := tensor.Randn(rng, 1, 5, 4)
+	labels := []int{0, 1, 2, 1, 0}
+
+	n.ZeroGrads()
+	logits, caches := n.Forward(x)
+	_, dy := SoftmaxCrossEntropy(logits, labels)
+	n.Backward(caches, dy)
+
+	for _, p := range n.Params() {
+		for i := 0; i < p.Value.Len(); i += 3 { // spot-check every 3rd entry
+			num := numericalGrad(n, x, labels, p.Value, i)
+			ana := p.Grad.Data[i]
+			if math.Abs(num-ana) > 1e-6*(1+math.Abs(num)) {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", p.Name, i, ana, num)
+			}
+		}
+	}
+}
+
+func TestInputGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	n := NewMLP(rng, 3, 5, 2)
+	x := tensor.Randn(rng, 1, 4, 3)
+	labels := []int{0, 1, 0, 1}
+
+	logits, caches := n.Forward(x)
+	_, dy := SoftmaxCrossEntropy(logits, labels)
+	dx := n.Backward(caches, dy)
+
+	const h = 1e-5
+	for i := 0; i < x.Len(); i++ {
+		orig := x.Data[i]
+		x.Data[i] = orig + h
+		lp := n.Loss(x, labels)
+		x.Data[i] = orig - h
+		lm := n.Loss(x, labels)
+		x.Data[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-dx.Data[i]) > 1e-6*(1+math.Abs(num)) {
+			t.Fatalf("dx[%d]: analytic %v vs numeric %v", i, dx.Data[i], num)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyUniform(t *testing.T) {
+	logits := tensor.New(2, 4) // all-zero logits → uniform probs
+	loss, grad := SoftmaxCrossEntropy(logits, []int{0, 3})
+	want := math.Log(4)
+	if math.Abs(loss-want) > 1e-12 {
+		t.Fatalf("loss = %v, want ln4 = %v", loss, want)
+	}
+	// gradient rows sum to zero
+	for i := 0; i < 2; i++ {
+		var s float64
+		for j := 0; j < 4; j++ {
+			s += grad.At(i, j)
+		}
+		if math.Abs(s) > 1e-12 {
+			t.Fatalf("grad row %d sums to %v, want 0", i, s)
+		}
+	}
+}
+
+func TestGradientAccumulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := NewMLP(rng, 3, 4, 2)
+	x1 := tensor.Randn(rng, 1, 2, 3)
+	x2 := tensor.Randn(rng, 1, 2, 3)
+	l1, l2 := []int{0, 1}, []int{1, 0}
+
+	// Two backward passes without ZeroGrads must sum.
+	n.ZeroGrads()
+	out1, c1 := n.Forward(x1)
+	_, d1 := SoftmaxCrossEntropy(out1, l1)
+	n.Backward(c1, d1)
+	gAfterOne := n.Params()[0].Grad.Clone()
+
+	out2, c2 := n.Forward(x2)
+	_, d2 := SoftmaxCrossEntropy(out2, l2)
+	n.Backward(c2, d2)
+	gBoth := n.Params()[0].Grad.Clone()
+
+	n.ZeroGrads()
+	out2b, c2b := n.Forward(x2)
+	_, d2b := SoftmaxCrossEntropy(out2b, l2)
+	n.Backward(c2b, d2b)
+	gOnlyTwo := n.Params()[0].Grad
+
+	sum := gAfterOne.Clone().Add(gOnlyTwo)
+	if !tensor.AlmostEqual(sum, gBoth, 1e-12) {
+		t.Fatal("gradients must accumulate across Backward calls")
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := NewMLP(rng, 8, 16, 3)
+	x := tensor.Randn(rng, 1, 30, 8)
+	labels := make([]int, 30)
+	for i := range labels {
+		labels[i] = i % 3
+		// make classes separable: shift feature `label`
+		x.Data[i*8+labels[i]] += 3
+	}
+	opt := &SGD{LR: 0.1}
+	before := n.Loss(x, labels)
+	for e := 0; e < 200; e++ {
+		n.TrainBatch(x, labels, opt)
+	}
+	after := n.Loss(x, labels)
+	if after >= before/2 {
+		t.Fatalf("training did not reduce loss: before %v, after %v", before, after)
+	}
+	if acc := n.Accuracy(x, labels); acc < 0.9 {
+		t.Fatalf("accuracy %v < 0.9 on separable data", acc)
+	}
+}
+
+func TestFlatWeightsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewMLP(rng, 5, 7, 4)
+	b := NewMLP(rng, 5, 7, 4) // different init
+	w := a.FlatWeights()
+	if len(w) != a.NumParams() {
+		t.Fatalf("FlatWeights len %d != NumParams %d", len(w), a.NumParams())
+	}
+	b.SetFlatWeights(w)
+	x := tensor.Randn(rng, 1, 3, 5)
+	ya, _ := a.Forward(x)
+	yb, _ := b.Forward(x)
+	if !tensor.Equal(ya, yb) {
+		t.Fatal("networks with identical weights must agree")
+	}
+}
+
+func TestSetFlatWeightsWrongLenPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := NewMLP(rng, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short vector")
+		}
+	}()
+	n.SetFlatWeights(make([]float64, 1))
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := NewMLP(rng, 3, 4, 2)
+	b := a.Clone()
+	b.Params()[0].Value.Data[0] += 100
+	if a.Params()[0].Value.Data[0] == b.Params()[0].Value.Data[0] {
+		t.Fatal("Clone must deep-copy parameters")
+	}
+	x := tensor.Randn(rng, 1, 2, 3)
+	ya, _ := a.Forward(x)
+	c := a.Clone()
+	yc, _ := c.Forward(x)
+	if !tensor.Equal(ya, yc) {
+		t.Fatal("fresh clone must compute identical outputs")
+	}
+}
+
+func TestFedProxPullsTowardGlobal(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := NewMLP(rng, 2, 2)
+	global := make([]float64, n.NumParams()) // zero vector
+	opt := &SGD{LR: 0.5, Mu: 1.0, Global: global}
+	normBefore := 0.0
+	for _, p := range n.Params() {
+		normBefore += p.Value.Norm2()
+	}
+	// With zero data gradient, repeated steps must shrink ‖w‖ toward 0.
+	n.ZeroGrads()
+	for i := 0; i < 20; i++ {
+		opt.Step(n.Params())
+	}
+	normAfter := 0.0
+	for _, p := range n.Params() {
+		normAfter += p.Value.Norm2()
+	}
+	if normAfter >= normBefore*0.01 {
+		t.Fatalf("proximal term should pull weights to global: %v → %v", normBefore, normAfter)
+	}
+}
+
+func TestMomentumAcceleratesDescent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	build := func() *Network { return NewMLP(rand.New(rand.NewSource(99)), 4, 8, 2) }
+	x := tensor.Randn(rng, 1, 20, 4)
+	labels := make([]int, 20)
+	for i := range labels {
+		labels[i] = i % 2
+		x.Data[i*4+labels[i]] += 2
+	}
+	run := func(opt *SGD) float64 {
+		n := build()
+		for e := 0; e < 30; e++ {
+			n.TrainBatch(x, labels, opt)
+		}
+		return n.Loss(x, labels)
+	}
+	plain := run(&SGD{LR: 0.02})
+	mom := run(&SGD{LR: 0.02, Momentum: 0.9})
+	if mom >= plain {
+		t.Fatalf("momentum should converge faster here: plain %v, momentum %v", plain, mom)
+	}
+}
+
+// Property: SoftmaxCrossEntropy loss is non-negative and the gradient of the
+// true-label entry is non-positive (prob−1 ≤ 0) for random logits.
+func TestSoftmaxPropertyNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		logits := tensor.Randn(rng, 3, 4, 5)
+		labels := []int{rng.Intn(5), rng.Intn(5), rng.Intn(5), rng.Intn(5)}
+		loss, grad := SoftmaxCrossEntropy(logits, labels)
+		if loss < 0 {
+			return false
+		}
+		for i, lab := range labels {
+			if grad.At(i, lab) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightDecayShrinksWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := NewMLP(rng, 3, 3)
+	n.ZeroGrads()
+	normBefore := n.Params()[0].Value.Norm2()
+	opt := &SGD{LR: 0.1, WeightDecay: 1.0}
+	for i := 0; i < 10; i++ {
+		opt.Step(n.Params())
+	}
+	if n.Params()[0].Value.Norm2() >= normBefore {
+		t.Fatal("weight decay must shrink weight norm with zero gradients")
+	}
+}

@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ecofl/internal/tensor"
+)
+
+func TestClipGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := NewMLP(rng, 4, 4, 2)
+	for _, p := range n.Params() {
+		p.Grad.Fill(1)
+	}
+	pre := ClipGradients(n.Params(), 1.0)
+	if pre <= 1 {
+		t.Fatalf("pre-clip norm %v should exceed 1", pre)
+	}
+	var sq float64
+	for _, p := range n.Params() {
+		sq += p.Grad.Norm2()
+	}
+	if got := math.Sqrt(sq); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("post-clip norm %v, want 1", got)
+	}
+	// Already-small gradients untouched.
+	for _, p := range n.Params() {
+		p.Grad.Fill(1e-6)
+	}
+	before := n.Params()[0].Grad.Data[0]
+	ClipGradients(n.Params(), 1.0)
+	if n.Params()[0].Grad.Data[0] != before {
+		t.Fatal("in-bound gradients must not be scaled")
+	}
+	// maxNorm ≤ 0 is a no-op.
+	for _, p := range n.Params() {
+		p.Grad.Fill(5)
+	}
+	ClipGradients(n.Params(), 0)
+	if n.Params()[0].Grad.Data[0] != 5 {
+		t.Fatal("maxNorm 0 must not clip")
+	}
+}
+
+func TestLabelSmoothingGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	logits := tensor.Randn(rng, 1, 3, 4)
+	labels := []int{0, 2, 3}
+	const eps, h = 0.1, 1e-6
+	_, grad := SoftmaxCrossEntropyLS(logits, labels, eps)
+	for i := range logits.Data {
+		orig := logits.Data[i]
+		logits.Data[i] = orig + h
+		lp, _ := SoftmaxCrossEntropyLS(logits, labels, eps)
+		logits.Data[i] = orig - h
+		lm, _ := SoftmaxCrossEntropyLS(logits, labels, eps)
+		logits.Data[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-grad.Data[i]) > 1e-5 {
+			t.Fatalf("grad[%d]: numeric %v vs analytic %v", i, num, grad.Data[i])
+		}
+	}
+}
+
+func TestLabelSmoothingZeroEpsMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	logits := tensor.Randn(rng, 1, 4, 5)
+	labels := []int{0, 1, 2, 3}
+	l1, g1 := SoftmaxCrossEntropy(logits, labels)
+	l2, g2 := SoftmaxCrossEntropyLS(logits, labels, 0)
+	if l1 != l2 || !tensor.Equal(g1, g2) {
+		t.Fatal("ε=0 must reduce to plain cross-entropy")
+	}
+}
+
+func TestLabelSmoothingValidation(t *testing.T) {
+	logits := tensor.New(1, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ε=1 must panic")
+		}
+	}()
+	SoftmaxCrossEntropyLS(logits, []int{0}, 1)
+}

@@ -1,0 +1,29 @@
+package partition
+
+import (
+	"testing"
+
+	"ecofl/internal/device"
+	"ecofl/internal/model"
+)
+
+func BenchmarkDynamicProgrammingB6x4(b *testing.B) {
+	spec := model.EfficientNet(6)
+	devs := []*device.Device{device.TX2N(), device.TX2Q(), device.NanoH(), device.NanoL()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DynamicProgrammingBatch(spec, devs, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOrchestrate4Devices(b *testing.B) {
+	spec := model.EfficientNet(2)
+	devs := []*device.Device{device.TX2N(), device.TX2Q(), device.NanoH(), device.NanoL()}
+	for i := 0; i < b.N; i++ {
+		if _, err := Orchestrate(spec, devs, Options{NumMicroBatches: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package partition_test
+
+import (
+	"fmt"
+
+	"ecofl/internal/device"
+	"ecofl/internal/model"
+	"ecofl/internal/partition"
+)
+
+// Partition EfficientNet-B4 across a TX2 and a Nano: the faster TX2
+// receives the larger share of layers (§4.2, Eq. 1).
+func ExampleDynamicProgramming() {
+	spec := model.EfficientNet(4)
+	devs := []*device.Device{device.TX2Q(), device.NanoH()}
+	plan, err := partition.DynamicProgramming(spec, devs)
+	if err != nil {
+		panic(err)
+	}
+	for i, st := range plan.Stages {
+		fmt.Printf("stage %d on %s: layers [%d,%d)\n", i, st.Device.Name, st.From, st.To)
+	}
+	// Output:
+	// stage 0 on TX2-Q: layers [0,20)
+	// stage 1 on Nano-H: layers [20,33)
+}

@@ -1,0 +1,25 @@
+package pipeline
+
+import (
+	"testing"
+)
+
+func BenchmarkSchedule1F1BLarge(b *testing.B) {
+	cfg := balancedConfig(5, 32, OneFOneBSync)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Schedule(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleGPipeLarge(b *testing.B) {
+	cfg := balancedConfig(5, 32, GPipeBAF)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Schedule(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package pipeline_test
+
+import (
+	"fmt"
+
+	"ecofl/internal/device"
+	"ecofl/internal/model"
+	"ecofl/internal/partition"
+	"ecofl/internal/pipeline"
+)
+
+// Schedule one 1F1B-Sync sync-round and inspect the residency quantities
+// of §4.3: with non-negligible inter-stage communication the optimal
+// in-flight forward counts P_s exceed the no-comm rule S−s.
+func ExampleSchedule() {
+	spec := model.EfficientNet(4)
+	devs := []*device.Device{device.TX2Q(), device.NanoH(), device.NanoH()}
+	plan, err := partition.DynamicProgrammingBatch(spec, devs, 8)
+	if err != nil {
+		panic(err)
+	}
+	cfg := &pipeline.Config{Spec: spec, Stages: plan.Stages, MicroBatchSize: 8, NumMicroBatches: 8}
+	res, err := pipeline.Schedule(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("P:", res.Ps)
+	fmt.Println("K:", res.Ks)
+	fmt.Printf("stage 0 utilization above 70%%: %v\n", res.StageUtil[0] > 0.7)
+	// Output:
+	// P: [5 3 1]
+	// K: [5 3 1]
+	// stage 0 utilization above 70%: true
+}

@@ -1,0 +1,182 @@
+package pipeline
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ecofl/internal/device"
+	"ecofl/internal/model"
+)
+
+// randomPipelineConfig builds a random feasible pipeline configuration.
+func randomPipelineConfig(rng *rand.Rand) *Config {
+	stages := 2 + rng.Intn(4)
+	layersPerStage := 1 + rng.Intn(3)
+	spec := &model.Spec{Name: "prop", InputBytes: 1e5}
+	for i := 0; i < stages*layersPerStage; i++ {
+		act := 1e4 + rng.Float64()*2e6
+		spec.Layers = append(spec.Layers, model.LayerCost{
+			Name:            "l",
+			FwdFLOPs:        1e8 + rng.Float64()*3e9,
+			ActivationBytes: act,
+			GradientBytes:   act,
+			ResidentBytes:   act * 1.5,
+			ParamBytes:      1e5,
+		})
+	}
+	cfg := &Config{
+		Spec:            spec,
+		MicroBatchSize:  1 << uint(rng.Intn(5)),
+		NumMicroBatches: 2 + rng.Intn(14),
+		Strategy:        OneFOneBSync,
+	}
+	if rng.Intn(3) == 0 {
+		cfg.Strategy = GPipeBAF
+	}
+	for s := 0; s < stages; s++ {
+		mem := int64(1) << 40
+		if rng.Intn(3) == 0 && cfg.Strategy == OneFOneBSync {
+			// Occasionally tight memory to exercise the Q_s throttle.
+			mem = int64(BaseOverheadBytes + 3e5*float64(layersPerStage)*3 +
+				float64(1+rng.Intn(4))*2e6*1.5*float64(cfg.MicroBatchSize)*float64(layersPerStage))
+		}
+		cfg.Stages = append(cfg.Stages, Stage{
+			Device: &device.Device{
+				Name:          "d",
+				ComputeRate:   (0.5 + rng.Float64()*4) * 1e11,
+				MemoryBytes:   mem,
+				LinkBandwidth: device.Bandwidth100Mbps,
+				LoadFactor:    1,
+			},
+			From: s * layersPerStage,
+			To:   (s + 1) * layersPerStage,
+		})
+	}
+	return cfg
+}
+
+// Property: in every schedule, (a) compute tasks on one stage never overlap,
+// (b) every (stage, micro) pair runs exactly one forward and one backward,
+// (c) the backward of a micro-batch never starts before its forward ends.
+func TestScheduleInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := randomPipelineConfig(rng)
+		res, err := Schedule(cfg)
+		if err != nil {
+			return true // OOM configs are allowed to fail
+		}
+		S := len(cfg.Stages)
+		M := cfg.NumMicroBatches
+		perStage := make([][]Task, S)
+		endF := map[[2]int]float64{}
+		countF := map[[2]int]int{}
+		countB := map[[2]int]int{}
+		for _, task := range res.Tasks {
+			if task.Kind == TaskForward || task.Kind == TaskBackward {
+				perStage[task.Stage] = append(perStage[task.Stage], task)
+			}
+			switch task.Kind {
+			case TaskForward:
+				countF[[2]int{task.Stage, task.Micro}]++
+				endF[[2]int{task.Stage, task.Micro}] = task.End
+			case TaskBackward:
+				countB[[2]int{task.Stage, task.Micro}]++
+			}
+		}
+		for s := 0; s < S; s++ {
+			for m := 0; m < M; m++ {
+				if countF[[2]int{s, m}] != 1 || countB[[2]int{s, m}] != 1 {
+					return false
+				}
+			}
+			tasks := perStage[s]
+			sort.Slice(tasks, func(i, j int) bool { return tasks[i].Start < tasks[j].Start })
+			for i := 1; i < len(tasks); i++ {
+				if tasks[i].Start < tasks[i-1].End-1e-9 {
+					return false // overlap on a serial stage
+				}
+			}
+		}
+		for _, task := range res.Tasks {
+			if task.Kind == TaskBackward &&
+				task.Start < endF[[2]int{task.Stage, task.Micro}]-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: throughput × round time equals the samples trained, utilization
+// is in (0, 1], and peak memory fits every device.
+func TestScheduleAccountingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := randomPipelineConfig(rng)
+		res, err := Schedule(cfg)
+		if err != nil {
+			return true
+		}
+		samples := float64(cfg.NumMicroBatches * cfg.MicroBatchSize)
+		if math.Abs(res.Throughput*res.RoundTime-samples) > 1e-6*samples {
+			return false
+		}
+		for s, u := range res.StageUtil {
+			if u <= 0 || u > 1+1e-9 {
+				return false
+			}
+			if res.PeakMemoryBytes[s] > float64(cfg.Stages[s].Device.MemoryBytes)+1 {
+				return false
+			}
+			if res.SSB[s] < 0 || res.DDB[s] < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: 1F1B-Sync peak memory never exceeds GPipe's on the same config,
+// and GPipe throughput never exceeds... actually GPipe can match 1F1B when
+// memory is ample, but never uses less memory: K_s ≤ M always.
+func TestOneFOneBNeverWorseMemoryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := randomPipelineConfig(rng)
+		cfg.Strategy = OneFOneBSync
+		for i := range cfg.Stages {
+			d := cfg.Stages[i].Device.Clone()
+			d.MemoryBytes = 1 << 40
+			cfg.Stages[i].Device = d
+		}
+		ours, err := Schedule(cfg)
+		if err != nil {
+			return false
+		}
+		gcfg := *cfg
+		gcfg.Strategy = GPipeBAF
+		gp, err := Schedule(&gcfg)
+		if err != nil {
+			return false
+		}
+		for s := range ours.PeakMemoryBytes {
+			if ours.PeakMemoryBytes[s] > gp.PeakMemoryBytes[s]+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

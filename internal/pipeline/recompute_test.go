@@ -1,0 +1,66 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+
+	"ecofl/internal/device"
+	"ecofl/internal/model"
+)
+
+func TestRecomputeTradesTimeForMemory(t *testing.T) {
+	spec := model.EfficientNet(4)
+	mk := func(recompute bool) (*Result, error) {
+		stages := []Stage{
+			{Device: bigDevice("d0", 300e9), From: 0, To: spec.NumLayers() / 2},
+			{Device: bigDevice("d1", 300e9), From: spec.NumLayers() / 2, To: spec.NumLayers()},
+		}
+		return Schedule(&Config{Spec: spec, Stages: stages, MicroBatchSize: 8,
+			NumMicroBatches: 8, Recompute: recompute})
+	}
+	plain, err := mk(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := mk(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.PeakMemoryBytes[0] >= plain.PeakMemoryBytes[0] {
+		t.Fatalf("recompute must cut peak memory: %.2e vs %.2e",
+			ckpt.PeakMemoryBytes[0], plain.PeakMemoryBytes[0])
+	}
+	if ckpt.Throughput >= plain.Throughput {
+		t.Fatalf("recompute must cost throughput: %v vs %v", ckpt.Throughput, plain.Throughput)
+	}
+	// The compute overhead is bounded: one extra forward ≤ 1/(1+BF) ≈ 33%.
+	if ckpt.Throughput < plain.Throughput*0.6 {
+		t.Fatalf("recompute overhead too large: %v vs %v", ckpt.Throughput, plain.Throughput)
+	}
+}
+
+func TestRecomputeRescuesGPipeOOM(t *testing.T) {
+	spec := model.EfficientNet(6)
+	small := func() *device.Device {
+		d := device.TX2N()
+		d.MemoryBytes = int64(2.5e9)
+		return d
+	}
+	stages := func() []Stage {
+		cut := spec.NumLayers() * 3 / 4
+		return []Stage{
+			{Device: small(), From: 0, To: cut},
+			{Device: device.NanoH(), From: cut, To: spec.NumLayers()},
+		}
+	}
+	base := &Config{Spec: spec, Stages: stages(), MicroBatchSize: 8, NumMicroBatches: 8, Strategy: GPipeBAF}
+	if _, err := Schedule(base); !errors.Is(err, ErrOOM) {
+		t.Fatalf("GPipe without recompute should OOM here, got %v", err)
+	}
+	withCkpt := *base
+	withCkpt.Stages = stages()
+	withCkpt.Recompute = true
+	if _, err := Schedule(&withCkpt); err != nil {
+		t.Fatalf("GPipe with recomputation should fit: %v", err)
+	}
+}

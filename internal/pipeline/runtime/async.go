@@ -1,0 +1,132 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ecofl/internal/model"
+	"ecofl/internal/nn"
+	"ecofl/internal/tensor"
+)
+
+// AsyncPipeline executes PipeDream's 1F1B-Async discipline: there is no
+// pipeline flush — each stage applies its weight update immediately after
+// every micro-batch's backward pass, and stashes the weight version each
+// in-flight forward used so forward and backward stay consistent (weight
+// stashing). This maximizes utilization but (a) requires one stashed weight
+// copy per in-flight micro-batch, the memory cost §2 criticizes, and (b)
+// loses gradient equivalence with sequential training. The tests demonstrate
+// both, which is exactly why Eco-FL adopts 1F1B-Sync instead.
+type AsyncPipeline struct {
+	trainable *model.Trainable
+	segments  []*nn.Network
+}
+
+// NewAsync builds an asynchronous pipeline from cut points.
+func NewAsync(tr *model.Trainable, cuts []int) (*AsyncPipeline, error) {
+	p, err := New(tr, cuts) // reuse cut validation and segment slicing
+	if err != nil {
+		return nil, err
+	}
+	return &AsyncPipeline{trainable: p.trainable, segments: p.segments}, nil
+}
+
+// Network returns the underlying full network (shared parameters).
+func (p *AsyncPipeline) Network() *nn.Network { return p.trainable.Network() }
+
+// NumStages returns the stage count.
+func (p *AsyncPipeline) NumStages() int { return len(p.segments) }
+
+// MaxStashedVersions returns the weight copies stage s must hold: its
+// in-flight micro-batch count K_s = S − s (PipeDream's memory overhead).
+func (p *AsyncPipeline) MaxStashedVersions(s int) int { return p.NumStages() - s }
+
+// segFlat returns a copy of a segment's parameters as a flat vector.
+func segFlat(seg *nn.Network) []float64 { return seg.FlatWeights() }
+
+// TrainStream pushes the mini-batch through the pipeline as a continuous
+// micro-batch stream with per-micro-batch updates (no flush). Returns the
+// mean loss across micro-batches.
+func (p *AsyncPipeline) TrainStream(x *tensor.Tensor, labels []int, mbs int, lr float64) (float64, error) {
+	if mbs <= 0 {
+		return 0, errors.New("runtime: micro-batch size must be positive")
+	}
+	rows := x.Rows()
+	if rows != len(labels) || rows == 0 {
+		return 0, fmt.Errorf("runtime: %d rows vs %d labels", rows, len(labels))
+	}
+	micros, microLabels := splitMicroBatches(x, labels, mbs)
+	m := len(micros)
+	S := p.NumStages()
+
+	actCh := make([]chan *tensor.Tensor, S+1)
+	gradCh := make([]chan *tensor.Tensor, S)
+	for i := range actCh {
+		actCh[i] = make(chan *tensor.Tensor, m)
+	}
+	for i := range gradCh {
+		gradCh[i] = make(chan *tensor.Tensor, m)
+	}
+	for _, mb := range micros {
+		actCh[0] <- mb
+	}
+
+	losses := make([]float64, m)
+	var wg sync.WaitGroup
+	for s := 0; s < S; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			seg := p.segments[s]
+			caches := make([][]nn.Cache, m)
+			outputs := make([]*tensor.Tensor, m)
+			stash := make([][]float64, m) // weight version used by each forward
+			for _, o := range order1F1B(m, S-s) {
+				if o.forward {
+					in := <-actCh[s]
+					stash[o.micro] = segFlat(seg) // stash the version this FP uses
+					out, c := seg.Forward(in)
+					caches[o.micro] = c
+					if s == S-1 {
+						outputs[o.micro] = out
+					} else {
+						actCh[s+1] <- out
+					}
+				} else {
+					var dy *tensor.Tensor
+					if s == S-1 {
+						var loss float64
+						loss, dy = nn.SoftmaxCrossEntropy(outputs[o.micro], microLabels[o.micro])
+						losses[o.micro] = loss
+					} else {
+						dy = <-gradCh[s+1]
+					}
+					// Weight stashing: backward runs against the version
+					// the forward used, then the update applies on top of
+					// the freshest weights.
+					current := segFlat(seg)
+					seg.SetFlatWeights(stash[o.micro])
+					seg.ZeroGrads()
+					dx := seg.Backward(caches[o.micro], dy)
+					caches[o.micro] = nil
+					stash[o.micro] = nil
+					seg.SetFlatWeights(current)
+					for _, param := range seg.Params() {
+						param.Value.AddScaled(-lr, param.Grad)
+					}
+					if s > 0 {
+						gradCh[s] <- dx
+					}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	var loss float64
+	for i, l := range losses {
+		loss += l * float64(len(microLabels[i]))
+	}
+	return loss / float64(rows), nil
+}

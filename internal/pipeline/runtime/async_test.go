@@ -1,0 +1,143 @@
+package runtime
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ecofl/internal/model"
+	"ecofl/internal/nn"
+	"ecofl/internal/tensor"
+)
+
+// With a single stage there is no staleness: 1F1B-Async degenerates to
+// plain per-micro-batch SGD and must match it exactly.
+func TestAsyncSingleStageMatchesSequentialSGD(t *testing.T) {
+	const seed = 41
+	trRef := model.NewTrainableMLP(rand.New(rand.NewSource(seed)), "ref", 8, []int{12}, 3)
+	trAsync := model.NewTrainableMLP(rand.New(rand.NewSource(seed)), "async", 8, []int{12}, 3)
+	ap, err := NewAsync(trAsync, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	x, labels := makeData(rng, 24, 8, 3)
+	const mbs, lr = 6, 0.05
+
+	// Reference: plain SGD over the same micro-batch stream.
+	ref := trRef.Network()
+	for start := 0; start < 24; start += mbs {
+		mbX := sliceRows(x, start, start+mbs)
+		ref.TrainBatch(mbX, labels[start:start+mbs], &nn.SGD{LR: lr})
+	}
+	if _, err := ap.TrainStream(x, labels, mbs, lr); err != nil {
+		t.Fatal(err)
+	}
+	wr := ref.FlatWeights()
+	wa := ap.Network().FlatWeights()
+	for i := range wr {
+		if math.Abs(wr[i]-wa[i]) > 1e-12 {
+			t.Fatalf("single-stage async must equal sequential SGD: weight %d %v vs %v", i, wr[i], wa[i])
+		}
+	}
+}
+
+// With multiple stages, asynchronous updates introduce staleness: the result
+// must DIFFER from both sequential SGD and 1F1B-Sync — the consistency cost
+// the paper's 1F1B-Sync avoids.
+func TestAsyncMultiStageDiverges(t *testing.T) {
+	const seed = 43
+	trSync := model.NewTrainableMLP(rand.New(rand.NewSource(seed)), "sync", 8, []int{12, 10}, 3)
+	trAsync := model.NewTrainableMLP(rand.New(rand.NewSource(seed)), "async", 8, []int{12, 10}, 3)
+	sp, err := New(trSync, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := NewAsync(trAsync, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	x, labels := makeData(rng, 24, 8, 3)
+	if _, err := sp.TrainSyncRound(x, labels, 6, &nn.SGD{LR: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ap.TrainStream(x, labels, 6, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	ws := sp.Network().FlatWeights()
+	wa := ap.Network().FlatWeights()
+	var maxDiff float64
+	for i := range ws {
+		if d := math.Abs(ws[i] - wa[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff < 1e-9 {
+		t.Fatal("multi-stage async should diverge from synchronous training (staleness)")
+	}
+}
+
+// Despite staleness, the asynchronous pipeline still converges on an easy
+// task — PipeDream works, it just trades consistency and memory.
+func TestAsyncStillLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := model.NewTrainableMLP(rng, "learn", 8, []int{16, 12}, 3)
+	ap, err := NewAsync(tr, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, labels := makeData(rng, 30, 8, 3)
+	first, err := ap.TrainStream(x, labels, 6, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 50; i++ {
+		last, err = ap.TrainStream(x, labels, 6, 0.08)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last > first/2 {
+		t.Fatalf("async pipeline failed to learn: %v → %v", first, last)
+	}
+}
+
+func TestAsyncStashAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr := model.NewTrainableMLP(rng, "x", 6, []int{8, 8}, 2)
+	ap, err := NewAsync(tr, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage 0 of a 3-stage pipeline holds 3 versions; the last holds 1 —
+	// matching the PipeDreamAsync memory model in internal/pipeline.
+	if ap.MaxStashedVersions(0) != 3 || ap.MaxStashedVersions(2) != 1 {
+		t.Fatalf("stash counts: %d, %d", ap.MaxStashedVersions(0), ap.MaxStashedVersions(2))
+	}
+}
+
+func TestAsyncValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := model.NewTrainableMLP(rng, "x", 4, []int{4}, 2)
+	ap, err := NewAsync(tr, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, labels := makeData(rng, 4, 4, 2)
+	if _, err := ap.TrainStream(x, labels, 0, 0.1); err == nil {
+		t.Fatal("zero mbs must error")
+	}
+	if _, err := ap.TrainStream(x, labels[:2], 2, 0.1); err == nil {
+		t.Fatal("label mismatch must error")
+	}
+}
+
+// sliceRows copies rows [lo, hi) of a 2-D tensor.
+func sliceRows(x *tensor.Tensor, lo, hi int) *tensor.Tensor {
+	dim := x.Cols()
+	out := tensor.New(hi-lo, dim)
+	copy(out.Data, x.Data[lo*dim:hi*dim])
+	return out
+}

@@ -1,0 +1,332 @@
+package runtime
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ecofl/internal/model"
+	"ecofl/internal/nn"
+	"ecofl/internal/simnet"
+	"ecofl/internal/tensor"
+)
+
+// This file is the distributed flavour of the pipeline runtime: stage
+// workers exchange activations and gradients as gob messages over real
+// net.Conn links (TCP between devices in a deployment; loopback or net.Pipe
+// in tests). Each worker sees only its model segment and its two neighbour
+// links — exactly the information a device in a smart-home pipeline has.
+
+// tensorMsg is the wire format for one micro-batch tensor.
+type tensorMsg struct {
+	Micro int
+	Shape []int
+	Data  []float64
+}
+
+// link is one duplex neighbour connection. Sends are asynchronous through a
+// writer goroutine: a stage can push its next activation while the neighbour
+// is still computing (the network buffers), which both matches real links
+// and avoids head-to-head write deadlocks on synchronous transports like
+// net.Pipe.
+type link struct {
+	out  chan tensorMsg
+	dec  *gob.Decoder
+	done chan struct{}
+	mu   sync.Mutex
+	werr error
+}
+
+func newLink(c net.Conn, depth int) *link {
+	l := &link{out: make(chan tensorMsg, depth), dec: gob.NewDecoder(c), done: make(chan struct{})}
+	enc := gob.NewEncoder(c)
+	go func() {
+		defer close(l.done)
+		for m := range l.out {
+			if err := enc.Encode(m); err != nil {
+				l.mu.Lock()
+				if l.werr == nil {
+					l.werr = err
+				}
+				l.mu.Unlock()
+				// Keep draining so senders never block on a dead link.
+			}
+		}
+	}()
+	return l
+}
+
+func (l *link) send(micro int, t *tensor.Tensor) error {
+	l.mu.Lock()
+	err := l.werr
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	l.out <- tensorMsg{Micro: micro, Shape: t.Shape, Data: t.Data}
+	return nil
+}
+
+func (l *link) recv() (int, *tensor.Tensor, error) {
+	var m tensorMsg
+	if err := l.dec.Decode(&m); err != nil {
+		return 0, nil, err
+	}
+	return m.Micro, tensor.FromSlice(m.Data, m.Shape...), nil
+}
+
+// close flushes and stops the writer.
+func (l *link) close() {
+	close(l.out)
+	<-l.done
+}
+
+// Dialer produces the S−1 duplex connection pairs of a pipeline: for link i
+// it returns the upstream endpoint (held by stage i) and the downstream
+// endpoint (held by stage i+1).
+type Dialer func(i int) (up, down net.Conn, err error)
+
+// PipeLinks returns a Dialer backed by in-process net.Pipe connections.
+func PipeLinks() Dialer {
+	return func(int) (net.Conn, net.Conn, error) {
+		a, b := net.Pipe()
+		return a, b, nil
+	}
+}
+
+// ThrottledLinks wraps another Dialer so every link is paced to the given
+// bandwidth (bytes/s) with a per-message latency — the in-process stand-in
+// for the paper's 100 Mbps in-home wireless links (device.Bandwidth100Mbps).
+func ThrottledLinks(inner Dialer, bandwidth float64, latency time.Duration) Dialer {
+	return func(i int) (net.Conn, net.Conn, error) {
+		up, down, err := inner(i)
+		if err != nil {
+			return nil, nil, err
+		}
+		return simnet.Throttle(up, bandwidth, latency), simnet.Throttle(down, bandwidth, latency), nil
+	}
+}
+
+// TCPLinks returns a Dialer backed by real TCP loopback connections.
+func TCPLinks() Dialer {
+	return func(int) (net.Conn, net.Conn, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		defer ln.Close()
+		type res struct {
+			c   net.Conn
+			err error
+		}
+		ch := make(chan res, 1)
+		go func() {
+			c, err := ln.Accept()
+			ch <- res{c, err}
+		}()
+		up, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return nil, nil, err
+		}
+		r := <-ch
+		if r.err != nil {
+			up.Close()
+			return nil, nil, r.err
+		}
+		return up, r.c, nil
+	}
+}
+
+// DistPipeline trains a partitioned model with 1F1B-Sync over real network
+// links. It is behaviourally identical to Pipeline (gradient-equivalent to
+// sequential training) but every inter-stage tensor crosses a net.Conn.
+type DistPipeline struct {
+	inner *Pipeline
+	dial  Dialer
+
+	// lastStats holds per-stage measurements of the most recent sync-round.
+	mu        sync.Mutex
+	lastStats *RoundStats
+}
+
+// RoundStats are wall-clock measurements of one executed sync-round — the
+// prototype-side counterpart of the simulator's schedule metrics, used to
+// cross-validate the two (see TestSimulatorMatchesPrototype).
+type RoundStats struct {
+	// WallTime is the end-to-end round duration.
+	WallTime time.Duration
+	// ComputeTime is each stage's time spent inside Forward/Backward.
+	ComputeTime []time.Duration
+}
+
+// StageUtilization returns each stage's measured busy fraction.
+func (r *RoundStats) StageUtilization() []float64 {
+	out := make([]float64, len(r.ComputeTime))
+	for i, c := range r.ComputeTime {
+		out[i] = float64(c) / float64(r.WallTime)
+	}
+	return out
+}
+
+// LastRoundStats returns measurements of the most recent TrainSyncRound
+// (nil before the first round).
+func (d *DistPipeline) LastRoundStats() *RoundStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastStats
+}
+
+// NewDistributed builds a distributed pipeline from cut points and a link
+// dialer.
+func NewDistributed(tr *model.Trainable, cuts []int, dial Dialer) (*DistPipeline, error) {
+	p, err := New(tr, cuts)
+	if err != nil {
+		return nil, err
+	}
+	if dial == nil {
+		dial = PipeLinks()
+	}
+	return &DistPipeline{inner: p, dial: dial}, nil
+}
+
+// Network returns the underlying full network (shared parameters).
+func (d *DistPipeline) Network() *nn.Network { return d.inner.Network() }
+
+// NumStages returns the stage count.
+func (d *DistPipeline) NumStages() int { return d.inner.NumStages() }
+
+// TrainSyncRound runs one 1F1B-Sync sync-round with inter-stage traffic on
+// real connections, applies the flush update, and returns the mean loss.
+func (d *DistPipeline) TrainSyncRound(x *tensor.Tensor, labels []int, mbs int, opt *nn.SGD) (float64, error) {
+	if mbs <= 0 {
+		return 0, fmt.Errorf("runtime: micro-batch size must be positive")
+	}
+	rows := x.Rows()
+	if rows != len(labels) || rows == 0 {
+		return 0, fmt.Errorf("runtime: %d rows vs %d labels", rows, len(labels))
+	}
+	S := d.inner.NumStages()
+	micros, microLabels := splitMicroBatches(x, labels, mbs)
+	m := len(micros)
+
+	// Establish links.
+	ups := make([]*link, S)   // ups[s]: stage s's link to stage s+1
+	downs := make([]*link, S) // downs[s]: stage s's link to stage s−1
+	var conns []net.Conn
+	var links []*link
+	for i := 0; i < S-1; i++ {
+		up, down, err := d.dial(i)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return 0, err
+		}
+		conns = append(conns, up, down)
+		ups[i] = newLink(up, m)
+		downs[i+1] = newLink(down, m)
+		links = append(links, ups[i], downs[i+1])
+	}
+	defer func() {
+		for _, l := range links {
+			l.close()
+		}
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	d.Network().ZeroGrads()
+	losses := make([]float64, m)
+	errs := make([]error, S)
+	stats := &RoundStats{ComputeTime: make([]time.Duration, S)}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < S; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = d.runStage(s, S, m, micros, microLabels, rows, losses, downs[s], ups[s], &stats.ComputeTime[s])
+		}(s)
+	}
+	wg.Wait()
+	stats.WallTime = time.Since(start)
+	d.mu.Lock()
+	d.lastStats = stats
+	d.mu.Unlock()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	opt.Step(d.Network().Params())
+	var loss float64
+	for i, l := range losses {
+		loss += l * float64(len(microLabels[i]))
+	}
+	return loss / float64(rows), nil
+}
+
+// runStage executes segment s's 1F1B order, exchanging tensors with its
+// neighbours over down (to stage s−1) and up (to stage s+1).
+func (d *DistPipeline) runStage(s, S, m int, micros []*tensor.Tensor, microLabels [][]int,
+	totalRows int, losses []float64, down, up *link, busy *time.Duration) error {
+	seg := d.inner.segments[s]
+	caches := make([][]nn.Cache, m)
+	outputs := make([]*tensor.Tensor, m)
+	for _, o := range order1F1B(m, S-s) {
+		if o.forward {
+			var in *tensor.Tensor
+			if s == 0 {
+				in = micros[o.micro]
+			} else {
+				micro, t, err := down.recv()
+				if err != nil {
+					return fmt.Errorf("stage %d recv act: %w", s, err)
+				}
+				if micro != o.micro {
+					return fmt.Errorf("stage %d: activation %d arrived, expected %d", s, micro, o.micro)
+				}
+				in = t
+			}
+			t0 := time.Now()
+			out, c := seg.Forward(in)
+			*busy += time.Since(t0)
+			caches[o.micro] = c
+			if s == S-1 {
+				outputs[o.micro] = out
+			} else if err := up.send(o.micro, out); err != nil {
+				return fmt.Errorf("stage %d send act: %w", s, err)
+			}
+		} else {
+			var dy *tensor.Tensor
+			if s == S-1 {
+				var loss float64
+				loss, dy = nn.SoftmaxCrossEntropy(outputs[o.micro], microLabels[o.micro])
+				losses[o.micro] = loss
+				dy.Scale(float64(outputs[o.micro].Rows()) / float64(totalRows))
+			} else {
+				micro, t, err := up.recv()
+				if err != nil {
+					return fmt.Errorf("stage %d recv grad: %w", s, err)
+				}
+				if micro != o.micro {
+					return fmt.Errorf("stage %d: gradient %d arrived, expected %d", s, micro, o.micro)
+				}
+				dy = t
+			}
+			t0 := time.Now()
+			dx := seg.Backward(caches[o.micro], dy)
+			*busy += time.Since(t0)
+			caches[o.micro] = nil
+			if s > 0 {
+				if err := down.send(o.micro, dx); err != nil {
+					return fmt.Errorf("stage %d send grad: %w", s, err)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package runtime
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ecofl/internal/model"
+	"ecofl/internal/nn"
+	"ecofl/internal/tensor"
+)
+
+func distEquivalence(t *testing.T, dial Dialer) {
+	t.Helper()
+	const seed = 321
+	trSeq := model.NewTrainableMLP(rand.New(rand.NewSource(seed)), "seq", 10, []int{14, 12, 10}, 4)
+	trDist := model.NewTrainableMLP(rand.New(rand.NewSource(seed)), "dist", 10, []int{14, 12, 10}, 4)
+	dp, err := NewDistributed(trDist, []int{1, 2, 3}, dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	x, labels := makeData(rng, 24, 10, 4)
+	seqNet := trSeq.Network()
+	optSeq := &nn.SGD{LR: 0.05}
+	optDist := &nn.SGD{LR: 0.05}
+	for step := 0; step < 4; step++ {
+		lossSeq := seqNet.TrainBatch(x, labels, optSeq)
+		lossDist, err := dp.TrainSyncRound(x, labels, 6, optDist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(lossSeq-lossDist) > 1e-9 {
+			t.Fatalf("step %d: loss %v vs %v", step, lossSeq, lossDist)
+		}
+	}
+	ws := seqNet.FlatWeights()
+	wd := dp.Network().FlatWeights()
+	for i := range ws {
+		if math.Abs(ws[i]-wd[i]) > 1e-9 {
+			t.Fatalf("weight %d diverged over the network: %v vs %v", i, ws[i], wd[i])
+		}
+	}
+}
+
+// Gradient equivalence must survive real serialization over net.Pipe.
+func TestDistributedEquivalenceOverPipe(t *testing.T) {
+	distEquivalence(t, PipeLinks())
+}
+
+// ... and over genuine TCP loopback connections.
+func TestDistributedEquivalenceOverTCP(t *testing.T) {
+	distEquivalence(t, TCPLinks())
+}
+
+func TestDistributedLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := model.NewTrainableMLP(rng, "dist-learn", 8, []int{16, 12}, 3)
+	dp, err := NewDistributed(tr, []int{1, 2}, TCPLinks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, labels := makeData(rng, 30, 8, 3)
+	opt := &nn.SGD{LR: 0.1}
+	first, err := dp.TrainSyncRound(x, labels, 10, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 40; i++ {
+		last, err = dp.TrainSyncRound(x, labels, 10, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last > first/2 {
+		t.Fatalf("distributed pipeline failed to learn: %v → %v", first, last)
+	}
+}
+
+func TestDistributedValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tr := model.NewTrainableMLP(rng, "x", 4, []int{6}, 2)
+	if _, err := NewDistributed(tr, []int{5}, nil); err == nil {
+		t.Fatal("invalid cuts must be rejected")
+	}
+	dp, err := NewDistributed(tr, []int{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(2, 4)
+	if _, err := dp.TrainSyncRound(x, []int{0, 1}, 0, &nn.SGD{LR: 0.1}); err == nil {
+		t.Fatal("zero mbs must error")
+	}
+	if _, err := dp.TrainSyncRound(x, []int{0}, 2, &nn.SGD{LR: 0.1}); err == nil {
+		t.Fatal("label mismatch must error")
+	}
+}
+
+// Equivalence must also hold across bandwidth-throttled links (slower, but
+// bit-identical) — the 100 Mbps in-home links of the paper's testbed.
+func TestDistributedEquivalenceOverThrottledLinks(t *testing.T) {
+	// 2 MB/s with 1 ms latency: slow enough to exercise queuing, fast
+	// enough for a test.
+	distEquivalence(t, ThrottledLinks(PipeLinks(), 2e6, time.Millisecond))
+}
+
+// Throttling must actually slow the round down, proportionally to payload.
+func TestThrottledLinksAddTransferTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr1 := model.NewTrainableMLP(rand.New(rand.NewSource(10)), "a", 64, []int{64}, 4)
+	tr2 := model.NewTrainableMLP(rand.New(rand.NewSource(10)), "b", 64, []int{64}, 4)
+	x, labels := makeData(rng, 32, 64, 4)
+
+	run := func(tr *model.Trainable, dial Dialer) time.Duration {
+		p, err := NewDistributed(tr, []int{1}, dial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := p.TrainSyncRound(x, labels, 8, &nn.SGD{LR: 0.01}); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	fast := run(tr1, PipeLinks())
+	// 4 micro-batches × (8×64 activations + 8×64 grads) × 8B ≈ 33 KB at
+	// 500 KB/s ≈ 65 ms minimum.
+	slow := run(tr2, ThrottledLinks(PipeLinks(), 5e5, 0))
+	if slow < fast+30*time.Millisecond {
+		t.Fatalf("throttled round (%v) should be visibly slower than unthrottled (%v)", slow, fast)
+	}
+}

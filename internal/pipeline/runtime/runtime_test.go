@@ -1,0 +1,164 @@
+package runtime
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ecofl/internal/model"
+	"ecofl/internal/nn"
+	"ecofl/internal/tensor"
+)
+
+func makeData(rng *rand.Rand, n, dim, classes int) (*tensor.Tensor, []int) {
+	x := tensor.Randn(rng, 1, n, dim)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % classes
+		x.Data[i*dim+labels[i]%dim] += 2.5
+	}
+	return x, labels
+}
+
+// The headline property of 1F1B-Sync: pipelined training applies the same
+// update as sequential full-mini-batch training — no weight staleness.
+func TestGradientEquivalenceWithSequential(t *testing.T) {
+	for _, stages := range []int{2, 3, 4} {
+		seed := int64(100 + stages)
+		trSeq := model.NewTrainableMLP(rand.New(rand.NewSource(seed)), "seq", 12, []int{16, 14, 10, 8}, 4)
+		trPipe := model.NewTrainableMLP(rand.New(rand.NewSource(seed)), "pipe", 12, []int{16, 14, 10, 8}, 4)
+
+		cuts := make([]int, stages-1)
+		for i := range cuts {
+			cuts[i] = i + 1
+		}
+		p, err := New(trPipe, cuts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		x, labels := makeData(rng, 24, 12, 4)
+
+		seqNet := trSeq.Network()
+		optSeq := &nn.SGD{LR: 0.05}
+		optPipe := &nn.SGD{LR: 0.05}
+		for step := 0; step < 5; step++ {
+			lossSeq := seqNet.TrainBatch(x, labels, optSeq)
+			lossPipe, err := p.TrainSyncRound(x, labels, 6, optPipe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(lossSeq-lossPipe) > 1e-9 {
+				t.Fatalf("%d stages step %d: loss %v vs %v", stages, step, lossSeq, lossPipe)
+			}
+		}
+		ws := seqNet.FlatWeights()
+		wp := p.Network().FlatWeights()
+		for i := range ws {
+			if math.Abs(ws[i]-wp[i]) > 1e-9 {
+				t.Fatalf("%d stages: weight %d diverged: %v vs %v", stages, i, ws[i], wp[i])
+			}
+		}
+	}
+}
+
+func TestUnevenMicroBatches(t *testing.T) {
+	// 23 samples with mbs 6 → micro-batches of 6,6,6,5; the weighted mean
+	// must still match sequential training.
+	seed := int64(55)
+	trSeq := model.NewTrainableMLP(rand.New(rand.NewSource(seed)), "seq", 8, []int{10, 10}, 3)
+	trPipe := model.NewTrainableMLP(rand.New(rand.NewSource(seed)), "pipe", 8, []int{10, 10}, 3)
+	p, err := New(trPipe, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	x, labels := makeData(rng, 23, 8, 3)
+	lossSeq := trSeq.Network().TrainBatch(x, labels, &nn.SGD{LR: 0.1})
+	lossPipe, err := p.TrainSyncRound(x, labels, 6, &nn.SGD{LR: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lossSeq-lossPipe) > 1e-9 {
+		t.Fatalf("uneven micro-batches: loss %v vs %v", lossSeq, lossPipe)
+	}
+	if !tensor.AlmostEqual(
+		tensor.FromSlice(trSeq.Network().FlatWeights(), trSeq.Network().NumParams()),
+		tensor.FromSlice(p.Network().FlatWeights(), p.Network().NumParams()), 1e-9) {
+		t.Fatal("weights diverged with uneven micro-batches")
+	}
+}
+
+func TestPipelineLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := model.NewTrainableMLP(rng, "learn", 10, []int{20, 16}, 4)
+	p, err := New(tr, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, labels := makeData(rng, 40, 10, 4)
+	opt := &nn.SGD{LR: 0.1}
+	first, err := p.TrainSyncRound(x, labels, 8, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 60; i++ {
+		last, err = p.TrainSyncRound(x, labels, 8, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last > first/2 {
+		t.Fatalf("pipelined training failed to learn: %v → %v", first, last)
+	}
+	if acc := p.Network().Accuracy(x, labels); acc < 0.9 {
+		t.Fatalf("accuracy %v < 0.9", acc)
+	}
+}
+
+func TestInvalidCuts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := model.NewTrainableMLP(rng, "x", 4, []int{6, 6}, 2)
+	for _, cuts := range [][]int{{0}, {3}, {2, 2}, {2, 1}, {4}} {
+		if _, err := New(tr, cuts); err == nil {
+			t.Fatalf("cuts %v must be rejected", cuts)
+		}
+	}
+	if _, err := New(tr, []int{1, 2}); err != nil {
+		t.Fatalf("valid cuts rejected: %v", err)
+	}
+}
+
+func TestTrainSyncRoundValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := model.NewTrainableMLP(rng, "x", 4, []int{6}, 2)
+	p, _ := New(tr, []int{1})
+	x := tensor.New(4, 4)
+	if _, err := p.TrainSyncRound(x, []int{0, 1}, 2, &nn.SGD{LR: 0.1}); err == nil {
+		t.Fatal("label/row mismatch must error")
+	}
+	if _, err := p.TrainSyncRound(x, []int{0, 1, 0, 1}, 0, &nn.SGD{LR: 0.1}); err == nil {
+		t.Fatal("zero micro-batch size must error")
+	}
+}
+
+func TestSingleStagePipelineDegeneratesToSequential(t *testing.T) {
+	seed := int64(77)
+	trSeq := model.NewTrainableMLP(rand.New(rand.NewSource(seed)), "seq", 6, []int{8}, 3)
+	trPipe := model.NewTrainableMLP(rand.New(rand.NewSource(seed)), "pipe", 6, []int{8}, 3)
+	p, err := New(trPipe, nil) // no cuts → 1 stage
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	x, labels := makeData(rng, 12, 6, 3)
+	l1 := trSeq.Network().TrainBatch(x, labels, &nn.SGD{LR: 0.2})
+	l2, err := p.TrainSyncRound(x, labels, 12, &nn.SGD{LR: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l1-l2) > 1e-12 {
+		t.Fatalf("single stage with one micro-batch must match exactly: %v vs %v", l1, l2)
+	}
+}

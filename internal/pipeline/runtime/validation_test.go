@@ -1,0 +1,76 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecofl/internal/model"
+	"ecofl/internal/nn"
+)
+
+// TestSimulatorMatchesPrototype cross-validates the schedule simulator
+// against the executing prototype: a deliberately imbalanced partition (one
+// huge block, two small ones) must show the same busy-time ordering in real
+// measured wall-clock as in the simulator's utilization prediction. The
+// assertions are deliberately coarse — wall-clock on a shared host is noisy
+// — but the *shape* (which stage dominates compute) must agree.
+func TestSimulatorMatchesPrototype(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	// Block widths: the middle block is ~16× the compute of the others.
+	tr := model.NewTrainableMLP(rng, "validate", 32, []int{256, 16}, 8)
+	p, err := NewDistributed(tr, []int{1, 2}, PipeLinks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, labels := makeData(rng, 64, 32, 8)
+	// A few warm-up rounds, then measure.
+	for i := 0; i < 3; i++ {
+		if _, err := p.TrainSyncRound(x, labels, 16, &nn.SGD{LR: 0.01}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := p.LastRoundStats()
+	if stats == nil || len(stats.ComputeTime) != 3 {
+		t.Fatalf("stats missing: %+v", stats)
+	}
+	if stats.WallTime <= 0 {
+		t.Fatal("wall time must be positive")
+	}
+	// The simulator's prediction from the Trainable's own cost spec: the
+	// stage with the largest FwdFLOPs share must also dominate measured
+	// compute time.
+	spec := tr.Spec
+	flops := []float64{
+		spec.SegmentFwdFLOPs(0, 1), // 32×256
+		spec.SegmentFwdFLOPs(1, 2), // 256×16
+		spec.SegmentFwdFLOPs(2, 3), // 16×8
+	}
+	predMax, measMax := 0, 0
+	for i := 1; i < 3; i++ {
+		if flops[i] > flops[predMax] {
+			predMax = i
+		}
+		if stats.ComputeTime[i] > stats.ComputeTime[measMax] {
+			measMax = i
+		}
+	}
+	if predMax != measMax {
+		t.Fatalf("simulator predicts stage %d dominates, prototype measured stage %d (times %v)",
+			predMax, measMax, stats.ComputeTime)
+	}
+	// The dominant stage must carry the majority of total compute in both
+	// views (it has ~90% of the FLOPs).
+	var total float64
+	for _, c := range stats.ComputeTime {
+		total += c.Seconds()
+	}
+	if share := stats.ComputeTime[measMax].Seconds() / total; share < 0.5 {
+		t.Fatalf("dominant stage's measured compute share %.2f too low", share)
+	}
+	// Utilization vector is well-formed.
+	for i, u := range stats.StageUtilization() {
+		if u < 0 || u > 1.5 { // >1 impossible modulo clock skew; 1.5 guards noise
+			t.Fatalf("stage %d utilization %.2f out of range", i, u)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package profiler
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecofl/internal/device"
+	"ecofl/internal/model"
+	"ecofl/internal/partition"
+)
+
+func TestProfileMeasuresEveryBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := model.NewTrainableMLP(rng, "prof", 32, []int{64, 48, 32}, 10)
+	res, err := Profile(rng, tr, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocks) != len(tr.Blocks) {
+		t.Fatalf("profiled %d blocks, want %d", len(res.Blocks), len(tr.Blocks))
+	}
+	for i, b := range res.Blocks {
+		if b.FwdTime <= 0 || b.BwdTime <= 0 {
+			t.Fatalf("block %d has non-positive timing", i)
+		}
+		// Byte counts must match the analytic spec exactly — they are
+		// measured from real tensors.
+		if b.ParamBytes != tr.Spec.Layers[i].ParamBytes {
+			t.Fatalf("block %d param bytes %v != spec %v", i, b.ParamBytes, tr.Spec.Layers[i].ParamBytes)
+		}
+		if b.ActivationBytes != tr.Spec.Layers[i].ActivationBytes {
+			t.Fatalf("block %d act bytes %v != spec %v", i, b.ActivationBytes, tr.Spec.Layers[i].ActivationBytes)
+		}
+	}
+}
+
+func TestMeasuredBackwardFactorPlausible(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := model.NewTrainableMLP(rng, "prof", 64, []int{128, 128}, 10)
+	res, err := Profile(rng, tr, 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense backward does ~2 matmuls vs forward's 1; wall clock noise and
+	// cache effects allow a broad band.
+	if f := res.MeasuredBackwardFactor(); f < 0.5 || f > 8 {
+		t.Fatalf("measured backward factor %.2f implausible", f)
+	}
+}
+
+func TestProfiledSpecDrivesPartitioner(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := model.NewTrainableMLP(rng, "prof", 32, []int{96, 64, 48, 32}, 10)
+	res, err := Profile(rng, tr, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := res.Spec("measured", 1e9)
+	if spec.NumLayers() != len(tr.Blocks) {
+		t.Fatalf("spec has %d layers", spec.NumLayers())
+	}
+	devs := []*device.Device{device.TX2Q(), device.NanoH()}
+	plan, err := partition.DynamicProgramming(spec, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Stages) != 2 || plan.LaggerTime <= 0 {
+		t.Fatalf("partitioner failed on measured spec: %+v", plan)
+	}
+	// Every stage non-empty and the cuts tile the model.
+	if plan.Stages[0].To != plan.Stages[1].From || plan.Stages[1].To != spec.NumLayers() {
+		t.Fatalf("bad tiling: %+v", plan.Stages)
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := model.NewTrainableMLP(rng, "x", 4, []int{4}, 2)
+	if _, err := Profile(rng, tr, 0, 1); err == nil {
+		t.Fatal("zero batch must error")
+	}
+	if _, err := Profile(rng, tr, 4, 0); err == nil {
+		t.Fatal("zero reps must error")
+	}
+}

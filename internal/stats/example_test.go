@@ -1,0 +1,28 @@
+package stats_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ecofl/internal/stats"
+)
+
+func ExampleJS() {
+	skewed := stats.FromCounts([]int{90, 10, 0, 0})
+	uniform := stats.NewUniform(4)
+	fmt.Printf("JS(skewed, IID) = %.3f bits\n", stats.JS(skewed, uniform))
+	fmt.Printf("JS(IID, IID)    = %.3f bits\n", stats.JS(uniform, uniform))
+	// Output:
+	// JS(skewed, IID) = 0.415 bits
+	// JS(IID, IID)    = 0.000 bits
+}
+
+func ExampleKMeans1D() {
+	latencies := []float64{10, 11, 12, 50, 51, 52, 90, 91}
+	assign, centers := stats.KMeans1D(rand.New(rand.NewSource(1)), latencies, 3)
+	fmt.Println("assignments:", assign)
+	fmt.Printf("centers: %.1f %.1f %.1f\n", centers[0], centers[1], centers[2])
+	// Output:
+	// assignments: [0 0 0 1 1 1 2 2]
+	// centers: 11.0 51.0 90.5
+}

@@ -1,0 +1,31 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzJSBounds checks symmetry and the [0,1] range of JS divergence over
+// arbitrary count vectors.
+func FuzzJSBounds(f *testing.F) {
+	f.Add(1, 2, 3, 4, 4, 3, 2, 1)
+	f.Add(0, 0, 0, 0, 10, 0, 0, 0)
+	f.Add(100, 0, 0, 100, 0, 100, 100, 0)
+	f.Fuzz(func(t *testing.T, a, b, c, d, e, g, h, i int) {
+		norm := func(x int) int {
+			if x < 0 {
+				x = -x
+			}
+			return x % 1000
+		}
+		p := FromCounts([]int{norm(a), norm(b), norm(c), norm(d)})
+		q := FromCounts([]int{norm(e), norm(g), norm(h), norm(i)})
+		js, sj := JS(p, q), JS(q, p)
+		if math.Abs(js-sj) > 1e-12 {
+			t.Fatalf("asymmetric: %v vs %v", js, sj)
+		}
+		if js < 0 || js > 1+1e-12 {
+			t.Fatalf("out of range: %v", js)
+		}
+	})
+}

@@ -1,0 +1,46 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatPair(b *testing.B, m, k, n int) (*Tensor, *Tensor) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	return Randn(rng, 1, m, k), Randn(rng, 1, k, n)
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	x, y := benchMatPair(b, 64, 64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMulAT64(b *testing.B) {
+	x, y := benchMatPair(b, 64, 64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMulAT(x, y)
+	}
+}
+
+func BenchmarkMatMulBT64(b *testing.B) {
+	x, y := benchMatPair(b, 64, 64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMulBT(x, y)
+	}
+}
+
+func BenchmarkAddScaled(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := Randn(rng, 1, 1<<14)
+	y := Randn(rng, 1, 1<<14)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.AddScaled(0.1, y)
+	}
+}

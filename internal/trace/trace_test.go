@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAddAndCol(t *testing.T) {
+	s := New("fig", "time", "acc")
+	s.Add(1, 0.5)
+	s.Add(2, 0.75)
+	if s.Len() != 2 {
+		t.Fatalf("len %d", s.Len())
+	}
+	acc, err := s.Col("acc")
+	if err != nil || acc[1] != 0.75 {
+		t.Fatalf("Col = %v, %v", acc, err)
+	}
+	if _, err := s.Col("nope"); err == nil {
+		t.Fatal("missing column must error")
+	}
+}
+
+func TestAddWrongArityPanics(t *testing.T) {
+	s := New("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Add(1)
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := New("roundtrip", "t", "v")
+	s.Add(0, 1.5)
+	s.Add(1, -2.25)
+	s.Add(2, 1e-9)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "t,v\n") {
+		t.Fatalf("missing header: %q", buf.String())
+	}
+	back, err := ReadCSV("roundtrip", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 || back.Rows[1][1] != -2.25 || back.Rows[2][1] != 1e-9 {
+		t.Fatalf("round trip mismatch: %+v", back.Rows)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("e", strings.NewReader("")); err == nil {
+		t.Fatal("empty CSV must error")
+	}
+	if _, err := ReadCSV("e", strings.NewReader("a,b\n1,notanumber\n")); err == nil {
+		t.Fatal("non-numeric value must error")
+	}
+}
+
+func TestWriteDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "out", "nested")
+	a := New("alpha", "x")
+	a.Add(1)
+	b := New("beta", "y")
+	b.Add(2)
+	if err := WriteDir(dir, a, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"alpha.csv", "beta.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+	}
+}
