@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"ecofl/internal/adaptive"
@@ -23,6 +24,7 @@ import (
 	"ecofl/internal/partition"
 	"ecofl/internal/pipeline"
 	"ecofl/internal/plot"
+	"ecofl/internal/tensor"
 	"ecofl/internal/trace"
 )
 
@@ -59,7 +61,26 @@ func writeCSV(dir string, series []*trace.Series) error {
 	return nil
 }
 
+// configureParallelism applies the ECOFL_PROCS override to the compute
+// substrate. Unset means tensor's default (GOMAXPROCS); 1 forces the fully
+// serial path. Results are bit-identical at every setting (the kernels
+// guarantee serial equivalence), so the knob only controls CPU usage —
+// experiments stay reproducible across machines.
+func configureParallelism() {
+	s := os.Getenv("ECOFL_PROCS")
+	if s == "" {
+		return
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		fmt.Fprintf(os.Stderr, "ecofl: ignoring invalid ECOFL_PROCS=%q (want a positive integer)\n", s)
+		return
+	}
+	tensor.SetParallelism(n)
+}
+
 func main() {
+	configureParallelism()
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)

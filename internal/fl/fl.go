@@ -10,6 +10,8 @@ package fl
 import (
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"ecofl/internal/data"
 	"ecofl/internal/nn"
@@ -204,6 +206,38 @@ func (p *Population) Evaluate(w []float64) float64 {
 	return p.Proto.Accuracy(p.TestX, p.TestY)
 }
 
+// planLocal pre-draws the client's mini-batch sequence for one local
+// update: LocalEpochs independent shuffles of the shard. All randomness of
+// a local update is consumed here, in caller order, so the compute phase
+// can run on a worker goroutine without touching the shared rng — and a
+// parallel round consumes the rng stream exactly like a serial one.
+func (p *Population) planLocal(rng *rand.Rand, c *Client) []data.Batch {
+	cfg := p.Config
+	var batches []data.Batch
+	for e := 0; e < cfg.LocalEpochs; e++ {
+		batches = append(batches, c.Train.Batches(rng, cfg.BatchSize)...)
+	}
+	return batches
+}
+
+// trainPlanned is the pure-compute phase of a local update: mini-batch SGD
+// over a pre-drawn batch sequence with a FedProx proximal term µ‖w − ref‖²/2
+// pulling toward ref. It touches only client-owned state (the client's
+// network clone and LastLoss), so distinct clients may run concurrently.
+func (p *Population) trainPlanned(c *Client, ref []float64, mu float64, batches []data.Batch) []float64 {
+	cfg := p.Config
+	c.net.SetFlatWeights(ref)
+	opt := &nn.SGD{LR: cfg.LR, Mu: mu, Global: ref}
+	var lossSum float64
+	for _, b := range batches {
+		lossSum += c.net.TrainBatch(b.X, b.Y, opt)
+	}
+	if len(batches) > 0 {
+		c.LastLoss = lossSum / float64(len(batches))
+	}
+	return c.net.FlatWeights()
+}
+
 // LocalTrain runs the client's local update: LocalEpochs passes of
 // mini-batch SGD from the reference weights ref, with a FedProx proximal
 // term µ‖w − ref‖²/2 pulling toward ref (§5.1). Only Eco-FL's intra-group
@@ -211,21 +245,53 @@ func (p *Population) Evaluate(w []float64) float64 {
 // baselines pass 0, hierarchical strategies pass Config.Mu. It returns the
 // updated weights; the client's sample count is Train.Len().
 func (p *Population) LocalTrain(rng *rand.Rand, c *Client, ref []float64, mu float64) []float64 {
-	cfg := p.Config
-	c.net.SetFlatWeights(ref)
-	opt := &nn.SGD{LR: cfg.LR, Mu: mu, Global: ref}
-	var lossSum float64
-	batches := 0
-	for e := 0; e < cfg.LocalEpochs; e++ {
-		for _, b := range c.Train.Batches(rng, cfg.BatchSize) {
-			lossSum += c.net.TrainBatch(b.X, b.Y, opt)
-			batches++
+	return p.trainPlanned(c, ref, mu, p.planLocal(rng, c))
+}
+
+// TrainClients runs the local updates of the selected clients from the
+// shared reference weights ref, fanning the compute across up to
+// tensor.Parallelism() goroutines, and returns the updated weight vectors
+// indexed like sel. Each client owns its network clone and data shard, so
+// the work is embarrassingly parallel; updates land in pre-indexed slots
+// and all randomness is drawn sequentially up front (see planLocal), so
+// aggregation order, the rng stream, and therefore every experiment curve
+// are identical to a serial round at any parallelism level. sel must not
+// contain duplicates (strategies select distinct clients per round).
+func (p *Population) TrainClients(rng *rand.Rand, sel []*Client, ref []float64, mu float64) [][]float64 {
+	updates := make([][]float64, len(sel))
+	plans := make([][]data.Batch, len(sel))
+	for i, c := range sel {
+		plans[i] = p.planLocal(rng, c)
+	}
+	workers := tensor.Parallelism()
+	if workers > len(sel) {
+		workers = len(sel)
+	}
+	if workers < 2 {
+		for i, c := range sel {
+			updates[i] = p.trainPlanned(c, ref, mu, plans[i])
 		}
+		return updates
 	}
-	if batches > 0 {
-		c.LastLoss = lossSum / float64(batches)
+	// Work-stealing over client indices: shard sizes (and therefore local
+	// update costs) vary, so static chunking would leave workers idle.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sel) {
+					return
+				}
+				updates[i] = p.trainPlanned(sel[i], ref, mu, plans[i])
+			}
+		}()
 	}
-	return c.net.FlatWeights()
+	wg.Wait()
+	return updates
 }
 
 // WeightedAverage aggregates weight vectors with the given weights

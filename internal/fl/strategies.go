@@ -143,16 +143,15 @@ func RunFedAvg(pop *Population) *RunResult {
 			break
 		}
 		var roundTime float64
-		updates := make([][]float64, len(sel))
 		weights := make([]float64, len(sel))
 		for i, c := range sel {
 			if l := c.Latency(); l > roundTime {
 				roundTime = l
 			}
-			updates[i] = pop.LocalTrain(rng, c, w, 0) // plain FedAvg: no proximal term
 			weights[i] = float64(c.Train.Len())
 			res.Participation[c.ID]++
 		}
+		updates := pop.TrainClients(rng, sel, w, 0) // plain FedAvg: no proximal term
 		w = WeightedAverage(updates, weights)
 		t += roundTime
 		res.Rounds++
@@ -332,14 +331,13 @@ func RunHierarchical(pop *Population, opts HierOptions) *RunResult {
 		}
 		eng.Schedule(roundTime, func() {
 			now := eng.Now()
-			updates := make([][]float64, len(sel))
 			weights := make([]float64, len(sel))
 			ref := groupModel[g]
 			for i, c := range sel {
-				updates[i] = pop.LocalTrain(rng, c, ref, cfg.Mu)
 				weights[i] = float64(c.Train.Len())
 				res.Participation[c.ID]++
 			}
+			updates := pop.TrainClients(rng, sel, ref, cfg.Mu)
 			groupW := WeightedAverage(updates, weights)
 			copy(groupModel[g], groupW)
 			res.Rounds++

@@ -66,16 +66,15 @@ func RunTiFL(pop *Population) *RunResult {
 			continue
 		}
 		var roundTime float64
-		updates := make([][]float64, len(clients))
 		weights := make([]float64, len(clients))
 		for i, c := range clients {
 			if l := c.Latency(); l > roundTime {
 				roundTime = l
 			}
-			updates[i] = pop.LocalTrain(rng, c, w, 0)
 			weights[i] = float64(c.Train.Len())
 			res.Participation[c.ID]++
 		}
+		updates := pop.TrainClients(rng, clients, w, 0)
 		w = WeightedAverage(updates, weights)
 		t += roundTime
 		res.Rounds++

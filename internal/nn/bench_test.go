@@ -43,7 +43,35 @@ func BenchmarkConv2DBackward(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.Backward(cache, dy)
+		// Caches are single-use (Backward recycles the im2col buffer), so a
+		// fresh forward runs off the clock each iteration.
+		b.StopTimer()
+		tensor.PutBuf(y)
+		y, cache = c.Forward(x)
+		b.StartTimer()
+		tensor.PutBuf(c.Backward(cache, dy))
+	}
+}
+
+// BenchmarkConv2DStepPooled measures a steady-state Conv2D training step
+// with the caller recycling the tensors it owns — the buffer-reuse path a
+// training loop hits. allocs/op should sit at ~0 after warm-up.
+func BenchmarkConv2DStepPooled(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewConv2D(rng, 8, 16, 3, 1, 1)
+	x := tensor.Randn(rng, 1, 4, 8, 16, 16)
+	y, cache := c.Forward(x)
+	dy := tensor.Randn(rng, 1, y.Shape...)
+	dx := c.Backward(cache, dy)
+	tensor.PutBuf(y)
+	tensor.PutBuf(dx)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y, cache := c.Forward(x)
+		dx := c.Backward(cache, dy)
+		tensor.PutBuf(y)
+		tensor.PutBuf(dx)
 	}
 }
 

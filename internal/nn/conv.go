@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"ecofl/internal/tensor"
 )
@@ -11,6 +12,13 @@ import (
 // Conv2D is a 2-D convolution over NCHW tensors, implemented as im2col +
 // matmul. Shapes: input (batch, InC, H, W) → output (batch, OutC, H', W')
 // with H' = (H + 2·Pad − K)/Stride + 1.
+//
+// The im2col/col2im lowering and the data re-layouts are parallelized across
+// the batch dimension (each sample owns a disjoint region), and every
+// transient buffer — the cols matrix, the flattened matmul operands, the
+// weight-gradient scratch — comes from the tensor buffer pool, so a
+// steady-state training step allocates next to nothing: Forward's cols
+// buffer is recycled by the matching Backward.
 type Conv2D struct {
 	InC, OutC, K, Stride, Pad int
 	W                         *Param // (OutC, InC·K·K)
@@ -45,68 +53,85 @@ func (c *Conv2D) outDims(h, w int) (int, int) {
 
 type convCache struct {
 	x      *tensor.Tensor
-	cols   *tensor.Tensor // (batch·OH·OW, InC·K·K)
+	cols   *tensor.Tensor // (batch·OH·OW, InC·K·K), pooled — recycled by Backward
 	h, w   int
 	oh, ow int
 }
 
-// im2col lowers the padded input into a matrix whose rows are receptive
-// fields, one row per (sample, output position).
-func (c *Conv2D) im2col(x *tensor.Tensor, h, w, oh, ow int) *tensor.Tensor {
+// convCachePool recycles cache structs across Forward/Backward pairs. A
+// cache discarded without a Backward (forward-only evaluation) is simply
+// collected by the GC.
+var convCachePool = sync.Pool{New: func() any { return new(convCache) }}
+
+// im2col lowers the padded input into cols, whose rows are receptive
+// fields, one row per (sample, output position). Every element of cols is
+// written (padding positions explicitly zeroed), so cols may be a stale
+// pooled buffer. Samples are processed in parallel: each owns a disjoint
+// row range.
+func (c *Conv2D) im2col(cols, x *tensor.Tensor, h, w, oh, ow int) {
 	batch := x.Shape[0]
 	fan := c.InC * c.K * c.K
-	cols := tensor.New(batch*oh*ow, fan)
-	for n := 0; n < batch; n++ {
-		base := n * c.InC * h * w
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				row := cols.Data[((n*oh+oy)*ow+ox)*fan : ((n*oh+oy)*ow+ox+1)*fan]
-				idx := 0
-				for ch := 0; ch < c.InC; ch++ {
-					for ky := 0; ky < c.K; ky++ {
-						iy := oy*c.Stride + ky - c.Pad
-						for kx := 0; kx < c.K; kx++ {
-							ix := ox*c.Stride + kx - c.Pad
-							if iy >= 0 && iy < h && ix >= 0 && ix < w {
-								row[idx] = x.Data[base+ch*h*w+iy*w+ix]
+	tensor.ParallelFor(batch, batch*oh*ow*fan, func(nLo, nHi int) {
+		for n := nLo; n < nHi; n++ {
+			base := n * c.InC * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					row := cols.Data[((n*oh+oy)*ow+ox)*fan : ((n*oh+oy)*ow+ox+1)*fan]
+					idx := 0
+					for ch := 0; ch < c.InC; ch++ {
+						for ky := 0; ky < c.K; ky++ {
+							iy := oy*c.Stride + ky - c.Pad
+							for kx := 0; kx < c.K; kx++ {
+								ix := ox*c.Stride + kx - c.Pad
+								if iy >= 0 && iy < h && ix >= 0 && ix < w {
+									row[idx] = x.Data[base+ch*h*w+iy*w+ix]
+								} else {
+									row[idx] = 0
+								}
+								idx++
 							}
-							idx++
 						}
 					}
 				}
 			}
 		}
-	}
-	return cols
+	})
 }
 
 // col2im scatters column gradients back to input positions (the transpose
-// of im2col).
-func (c *Conv2D) col2im(cols *tensor.Tensor, batch, h, w, oh, ow int) *tensor.Tensor {
-	dx := tensor.New(batch, c.InC, h, w)
+// of im2col), writing into dx. Each sample's input region is zeroed then
+// accumulated by the goroutine that owns it, so dx may be a stale pooled
+// buffer and the per-element accumulation order matches the serial kernel.
+func (c *Conv2D) col2im(dx, cols *tensor.Tensor, batch, h, w, oh, ow int) {
 	fan := c.InC * c.K * c.K
-	for n := 0; n < batch; n++ {
-		base := n * c.InC * h * w
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				row := cols.Data[((n*oh+oy)*ow+ox)*fan : ((n*oh+oy)*ow+ox+1)*fan]
-				idx := 0
-				for ch := 0; ch < c.InC; ch++ {
-					for ky := 0; ky < c.K; ky++ {
-						iy := oy*c.Stride + ky - c.Pad
-						for kx := 0; kx < c.K; kx++ {
-							ix := ox*c.Stride + kx - c.Pad
-							if iy >= 0 && iy < h && ix >= 0 && ix < w {
-								dx.Data[base+ch*h*w+iy*w+ix] += row[idx]
+	per := c.InC * h * w
+	tensor.ParallelFor(batch, batch*oh*ow*fan, func(nLo, nHi int) {
+		for n := nLo; n < nHi; n++ {
+			base := n * per
+			region := dx.Data[base : base+per]
+			for i := range region {
+				region[i] = 0
+			}
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					row := cols.Data[((n*oh+oy)*ow+ox)*fan : ((n*oh+oy)*ow+ox+1)*fan]
+					idx := 0
+					for ch := 0; ch < c.InC; ch++ {
+						for ky := 0; ky < c.K; ky++ {
+							iy := oy*c.Stride + ky - c.Pad
+							for kx := 0; kx < c.K; kx++ {
+								ix := ox*c.Stride + kx - c.Pad
+								if iy >= 0 && iy < h && ix >= 0 && ix < w {
+									dx.Data[base+ch*h*w+iy*w+ix] += row[idx]
+								}
+								idx++
 							}
-							idx++
 						}
 					}
 				}
 			}
 		}
-	}
-	return dx
+	})
 }
 
 func (c *Conv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
@@ -118,44 +143,68 @@ func (c *Conv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("nn: Conv2D output empty for input %v", x.Shape))
 	}
-	cols := c.im2col(x, h, w, oh, ow)
+	fan := c.InC * c.K * c.K
+	cols := tensor.GetBufUninit(batch*oh*ow, fan)
+	c.im2col(cols, x, h, w, oh, ow)
 	// (batch·OH·OW, fan) × (OutC, fan)ᵀ → (batch·OH·OW, OutC)
-	flat := tensor.MatMulBT(cols, c.W.Value)
-	out := tensor.New(batch, c.OutC, oh, ow)
-	for n := 0; n < batch; n++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				r := ((n*oh+oy)*ow + ox) * c.OutC
-				for ch := 0; ch < c.OutC; ch++ {
-					out.Data[((n*c.OutC+ch)*oh+oy)*ow+ox] = flat.Data[r+ch] + c.B.Value.Data[ch]
+	flat := tensor.MatMulBTInto(tensor.GetBufUninit(batch*oh*ow, c.OutC), cols, c.W.Value)
+	out := tensor.GetBufUninit(batch, c.OutC, oh, ow)
+	bias := c.B.Value.Data
+	tensor.ParallelFor(batch, batch*c.OutC*oh*ow, func(nLo, nHi int) {
+		for n := nLo; n < nHi; n++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					r := ((n*oh+oy)*ow + ox) * c.OutC
+					for ch := 0; ch < c.OutC; ch++ {
+						out.Data[((n*c.OutC+ch)*oh+oy)*ow+ox] = flat.Data[r+ch] + bias[ch]
+					}
 				}
 			}
 		}
-	}
-	return out, &convCache{x: x, cols: cols, h: h, w: w, oh: oh, ow: ow}
+	})
+	tensor.PutBuf(flat)
+	cc := convCachePool.Get().(*convCache)
+	cc.x, cc.cols, cc.h, cc.w, cc.oh, cc.ow = x, cols, h, w, oh, ow
+	return out, cc
 }
 
 func (c *Conv2D) Backward(cc Cache, dy *tensor.Tensor) *tensor.Tensor {
 	cache := cc.(*convCache)
+	if cache.x == nil {
+		panic("nn: Conv2D cache passed to Backward twice (caches are single-use)")
+	}
 	batch := cache.x.Shape[0]
 	oh, ow := cache.oh, cache.ow
-	// Re-layout dy (batch, OutC, OH, OW) → (batch·OH·OW, OutC).
-	flat := tensor.New(batch*oh*ow, c.OutC)
+	// Re-layout dy (batch, OutC, OH, OW) → (batch·OH·OW, OutC). Kept serial:
+	// the bias gradient accumulates across samples here, and its float64
+	// summation order must not depend on the parallelism setting.
+	flat := tensor.GetBufUninit(batch*oh*ow, c.OutC)
+	bg := c.B.Grad.Data
 	for n := 0; n < batch; n++ {
 		for ch := 0; ch < c.OutC; ch++ {
 			for oy := 0; oy < oh; oy++ {
 				for ox := 0; ox < ow; ox++ {
 					v := dy.Data[((n*c.OutC+ch)*oh+oy)*ow+ox]
 					flat.Data[((n*oh+oy)*ow+ox)*c.OutC+ch] = v
-					c.B.Grad.Data[ch] += v
+					bg[ch] += v
 				}
 			}
 		}
 	}
 	// dW = flatᵀ × cols;  dcols = flat × W
-	c.W.Grad.Add(tensor.MatMulAT(flat, cache.cols))
-	dcols := tensor.MatMul(flat, c.W.Value)
-	return c.col2im(dcols, batch, cache.h, cache.w, oh, ow)
+	fan := c.InC * c.K * c.K
+	dw := tensor.MatMulATInto(tensor.GetBufUninit(c.OutC, fan), flat, cache.cols)
+	c.W.Grad.Add(dw)
+	tensor.PutBuf(dw)
+	dcols := tensor.MatMulInto(tensor.GetBufUninit(batch*oh*ow, fan), flat, c.W.Value)
+	tensor.PutBuf(flat)
+	dx := tensor.GetBufUninit(batch, c.InC, cache.h, cache.w)
+	c.col2im(dx, dcols, batch, cache.h, cache.w, oh, ow)
+	tensor.PutBuf(dcols)
+	tensor.PutBuf(cache.cols)
+	*cache = convCache{}
+	convCachePool.Put(cache)
+	return dx
 }
 
 func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }

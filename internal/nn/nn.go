@@ -63,12 +63,13 @@ func NewDense(rng *rand.Rand, in, out int) *Dense {
 func (d *Dense) Name() string { return fmt.Sprintf("Dense(%d→%d)", d.In, d.Out) }
 
 func (d *Dense) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
-	y := tensor.MatMul(x, d.W.Value)
-	rows, cols := y.Rows(), y.Cols()
+	y := tensor.MatMulInto(tensor.GetBufUninit(x.Rows(), d.Out), x, d.W.Value)
+	rows := y.Rows()
+	bias := d.B.Value.Data
 	for i := 0; i < rows; i++ {
-		yr := y.Data[i*cols : (i+1)*cols]
+		yr := y.RowView(i)
 		for j := range yr {
-			yr[j] += d.B.Value.Data[j]
+			yr[j] += bias[j]
 		}
 	}
 	return y, x
@@ -76,15 +77,18 @@ func (d *Dense) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
 
 func (d *Dense) Backward(c Cache, dy *tensor.Tensor) *tensor.Tensor {
 	x := c.(*tensor.Tensor)
-	d.W.Grad.Add(tensor.MatMulAT(x, dy))
-	rows, cols := dy.Rows(), dy.Cols()
+	dw := tensor.MatMulATInto(tensor.GetBufUninit(d.In, d.Out), x, dy)
+	d.W.Grad.Add(dw)
+	tensor.PutBuf(dw)
+	rows := dy.Rows()
+	bg := d.B.Grad.Data
 	for i := 0; i < rows; i++ {
-		dr := dy.Data[i*cols : (i+1)*cols]
+		dr := dy.RowView(i)
 		for j := range dr {
-			d.B.Grad.Data[j] += dr[j]
+			bg[j] += dr[j]
 		}
 	}
-	return tensor.MatMulBT(dy, d.W.Value)
+	return tensor.MatMulBTInto(tensor.GetBufUninit(dy.Rows(), d.In), dy, d.W.Value)
 }
 
 func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
@@ -168,7 +172,7 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.
 	grad := tensor.New(rows, cols)
 	var loss float64
 	for i := 0; i < rows; i++ {
-		row := logits.Data[i*cols : (i+1)*cols]
+		row := logits.RowView(i)
 		maxv := math.Inf(-1)
 		for _, v := range row {
 			if v > maxv {
@@ -176,7 +180,7 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.
 			}
 		}
 		var sum float64
-		g := grad.Data[i*cols : (i+1)*cols]
+		g := grad.RowView(i)
 		for j, v := range row {
 			e := math.Exp(v - maxv)
 			g[j] = e
@@ -337,7 +341,9 @@ func (o *SGD) Step(params []*Param) {
 	}
 	off := 0
 	for _, p := range params {
-		g := p.Grad.Clone()
+		scratch := tensor.GetBufUninit(p.Grad.Shape...)
+		scratch.CopyFrom(p.Grad)
+		g := scratch
 		if o.WeightDecay != 0 {
 			g.AddScaled(o.WeightDecay, p.Value)
 		}
@@ -358,6 +364,7 @@ func (o *SGD) Step(params []*Param) {
 			g = v
 		}
 		p.Value.AddScaled(-o.LR, g)
+		tensor.PutBuf(scratch)
 	}
 }
 

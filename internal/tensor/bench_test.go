@@ -2,6 +2,7 @@ package tensor
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 )
 
@@ -33,6 +34,36 @@ func BenchmarkMatMulBT64(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		MatMulBT(x, y)
 	}
+}
+
+// benchInto times one destination-passing kernel at 256×256×256 under the
+// given parallelism. The serial variant is the pre-existing kernel's exact
+// code path, so the parallel/serial ratio is the worker-pool speedup.
+func benchInto(b *testing.B, procs int, kernel func(dst, x, y *Tensor) *Tensor) {
+	x, y := benchMatPair(b, 256, 256, 256)
+	dst := New(256, 256)
+	prev := Parallelism()
+	SetParallelism(procs)
+	defer SetParallelism(prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernel(dst, x, y)
+	}
+}
+
+func BenchmarkMatMulInto256Serial(b *testing.B)   { benchInto(b, 1, MatMulInto) }
+func BenchmarkMatMulATInto256Serial(b *testing.B) { benchInto(b, 1, MatMulATInto) }
+func BenchmarkMatMulBTInto256Serial(b *testing.B) { benchInto(b, 1, MatMulBTInto) }
+
+func BenchmarkMatMulInto256Parallel(b *testing.B) {
+	benchInto(b, runtime.GOMAXPROCS(0), MatMulInto)
+}
+func BenchmarkMatMulATInto256Parallel(b *testing.B) {
+	benchInto(b, runtime.GOMAXPROCS(0), MatMulATInto)
+}
+func BenchmarkMatMulBTInto256Parallel(b *testing.B) {
+	benchInto(b, runtime.GOMAXPROCS(0), MatMulBTInto)
 }
 
 func BenchmarkAddScaled(b *testing.B) {

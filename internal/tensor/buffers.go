@@ -1,0 +1,55 @@
+package tensor
+
+import "sync"
+
+// Buffer pool: per-size free lists for the transient tensors the training
+// hot path churns through (im2col matrices, matmul scratch, activations the
+// caller recycles). GetBuf/PutBuf are opt-in — a pooled tensor that is never
+// returned behaves exactly like one from New and is reclaimed by the GC.
+//
+// Ownership discipline: only Put a tensor whose storage you know is not
+// aliased (Flatten-style views share Data with their source and must never
+// be returned to the pool).
+
+var bufPools sync.Map // element count → *sync.Pool of *Tensor
+
+func poolFor(n int) *sync.Pool {
+	if p, ok := bufPools.Load(n); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := bufPools.LoadOrStore(n, &sync.Pool{
+		New: func() any { return &Tensor{Data: make([]float64, n)} },
+	})
+	return p.(*sync.Pool)
+}
+
+// GetBuf returns a zero-filled pooled tensor with the given shape.
+func GetBuf(shape ...int) *Tensor {
+	t := GetBufUninit(shape...)
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+	return t
+}
+
+// GetBufUninit returns a pooled tensor with the given shape whose contents
+// are unspecified (possibly stale). Use only as a destination that will be
+// fully overwritten, e.g. by the MatMul*Into kernels.
+func GetBufUninit(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	t := poolFor(n).Get().(*Tensor)
+	t.Shape = append(t.Shape[:0], shape...)
+	return t
+}
+
+// PutBuf returns t to the pool for reuse by a later GetBuf of the same
+// element count. The caller must not use t afterwards.
+func PutBuf(t *Tensor) {
+	if t == nil || len(t.Data) == 0 {
+		return
+	}
+	poolFor(len(t.Data)).Put(t)
+}

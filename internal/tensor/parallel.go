@@ -1,0 +1,117 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The kernels in this package split their output across a small package-level
+// worker pool when the operation is large enough to amortize the hand-off.
+// Each worker owns a disjoint block of output rows, so per-element float64
+// accumulation order is identical to the serial kernels and results are
+// bit-identical at any parallelism level — experiment curves never depend on
+// the machine the simulation ran on.
+
+// minParallelWork is the approximate scalar-operation count below which a
+// kernel stays on the calling goroutine: small matrices would spend more
+// time on hand-off than on arithmetic.
+const minParallelWork = 1 << 16
+
+var (
+	// requestedParallelism is the knob set by SetParallelism; 0 means
+	// "unset", which falls back to GOMAXPROCS at call time.
+	requestedParallelism atomic.Int32
+
+	workerMu    sync.Mutex
+	workerCount int
+	workQueue   chan func()
+)
+
+// Parallelism returns the number of row-block workers kernels may use.
+// Defaults to runtime.GOMAXPROCS(0) until SetParallelism is called.
+func Parallelism() int {
+	if n := requestedParallelism.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetParallelism sets the number of row-block workers kernels may use.
+// n ≤ 1 forces every kernel onto the serial path (no goroutine hand-off),
+// which is also the automatic behaviour on single-CPU machines. Results are
+// bit-identical at every setting; the knob only trades wall-clock for CPUs.
+// Safe for concurrent use.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	requestedParallelism.Store(int32(n))
+}
+
+// ensureWorkers grows the pool to at least n resident workers. Workers are
+// never torn down: the pool is bounded by the largest parallelism ever
+// requested, which is itself bounded by the knob.
+func ensureWorkers(n int) {
+	workerMu.Lock()
+	if workQueue == nil {
+		workQueue = make(chan func(), 128)
+	}
+	for workerCount < n {
+		workerCount++
+		go func() {
+			for f := range workQueue {
+				f()
+			}
+		}()
+	}
+	workerMu.Unlock()
+}
+
+// submit hands f to a pool worker, or runs it inline when the queue is
+// saturated. Running inline keeps ParallelFor deadlock-free by construction:
+// no task ever waits on queue capacity.
+func submit(f func()) {
+	select {
+	case workQueue <- f:
+	default:
+		f()
+	}
+}
+
+// ParallelFor splits [0, n) into up to Parallelism() contiguous blocks and
+// runs fn(lo, hi) for each, returning when every block is done. work is an
+// estimate of the total scalar operations; when it is below an internal
+// threshold — or parallelism is 1 — fn(0, n) runs inline on the caller.
+// fn must touch only disjoint state per index; blocks may run on pool
+// workers concurrently with the caller.
+func ParallelFor(n, work int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := Parallelism()
+	if p > n {
+		p = n
+	}
+	if p < 2 || work < minParallelWork {
+		fn(0, n)
+		return
+	}
+	ensureWorkers(p - 1)
+	chunk := (n + p - 1) / p
+	var wg sync.WaitGroup
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		lo := lo
+		wg.Add(1)
+		submit(func() {
+			fn(lo, hi)
+			wg.Done()
+		})
+	}
+	fn(0, chunk)
+	wg.Wait()
+}

@@ -80,6 +80,14 @@ func (t *Tensor) At(i, j int) float64 { return t.Data[i*t.Cols()+j] }
 // Set assigns the element at a 2-D index.
 func (t *Tensor) Set(i, j int, v float64) { t.Data[i*t.Cols()+j] = v }
 
+// RowView returns row i of the tensor (viewed 2-D) as a slice sharing t's
+// storage. Prefer it over At/Set in per-element loops: it hoists the Cols()
+// stride computation out of the loop and indexes the row directly.
+func (t *Tensor) RowView(i int) []float64 {
+	c := t.Cols()
+	return t.Data[i*c : (i+1)*c]
+}
+
 // Clone returns a deep copy.
 func (t *Tensor) Clone() *Tensor {
 	c := New(t.Shape...)
@@ -160,79 +168,136 @@ func (t *Tensor) Dot(src *Tensor) float64 {
 // Norm2 returns the squared Euclidean norm of t viewed as a flat vector.
 func (t *Tensor) Norm2() float64 { return t.Dot(t) }
 
-// MatMul returns a×b for 2-D tensors (m×k)·(k×n) → (m×n).
-func MatMul(a, b *Tensor) *Tensor {
+// setShape2D points dst at an (m, n) view, reusing its Shape slice when
+// possible so reshaping a pooled buffer does not allocate.
+func setShape2D(dst *Tensor, m, n int) {
+	dst.Shape = append(dst.Shape[:0], m, n)
+}
+
+// MatMulInto computes a×b for 2-D tensors (m×k)·(k×n) → (m×n), overwriting
+// dst (which must hold exactly m·n elements and not alias a or b) and
+// returning it. Output rows are split across the package worker pool when
+// the operation is large enough; each worker owns disjoint rows and
+// accumulates every element in the same order as the serial kernel, so the
+// result is bit-identical at any parallelism.
+func MatMulInto(dst, a, b *Tensor) *Tensor {
 	m, k, n := a.Rows(), a.Cols(), b.Cols()
 	if b.Rows() != k {
 		panic(fmt.Sprintf("tensor: MatMul inner mismatch %v × %v", a.Shape, b.Shape))
 	}
-	out := New(m, n)
-	// ikj loop order keeps the inner loop streaming over contiguous memory.
-	for i := 0; i < m; i++ {
-		ai := a.Data[i*k : (i+1)*k]
-		oi := out.Data[i*n : (i+1)*n]
-		for kk, av := range ai {
-			if av == 0 {
-				continue
+	if len(dst.Data) != m*n {
+		panic(fmt.Sprintf("tensor: MatMulInto dst has %d elements, want %d", len(dst.Data), m*n))
+	}
+	setShape2D(dst, m, n)
+	ParallelFor(m, 2*m*k*n, func(lo, hi int) {
+		// ikj loop order keeps the inner loop streaming over contiguous
+		// memory.
+		for i := lo; i < hi; i++ {
+			ai := a.Data[i*k : (i+1)*k]
+			oi := dst.Data[i*n : (i+1)*n]
+			for j := range oi {
+				oi[j] = 0
 			}
-			bk := b.Data[kk*n : (kk+1)*n]
-			for j, bv := range bk {
-				oi[j] += av * bv
+			for kk, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bk := b.Data[kk*n : (kk+1)*n]
+				for j, bv := range bk {
+					oi[j] += av * bv
+				}
 			}
 		}
-	}
-	return out
+	})
+	return dst
 }
 
-// MatMulAT returns aᵀ×b for 2-D tensors (k×m)ᵀ·(k×n) → (m×n).
-func MatMulAT(a, b *Tensor) *Tensor {
+// MatMul returns a×b for 2-D tensors (m×k)·(k×n) → (m×n).
+func MatMul(a, b *Tensor) *Tensor {
+	return MatMulInto(New(a.Rows(), b.Cols()), a, b)
+}
+
+// MatMulATInto computes aᵀ×b for 2-D tensors (k×m)ᵀ·(k×n) → (m×n) into dst
+// (m·n elements, no aliasing), returning dst. Parallel over output rows;
+// bit-identical to the serial kernel (see MatMulInto).
+func MatMulATInto(dst, a, b *Tensor) *Tensor {
 	k, m, n := a.Rows(), a.Cols(), b.Cols()
 	if b.Rows() != k {
 		panic(fmt.Sprintf("tensor: MatMulAT inner mismatch %v × %v", a.Shape, b.Shape))
 	}
-	out := New(m, n)
-	for kk := 0; kk < k; kk++ {
-		ak := a.Data[kk*m : (kk+1)*m]
-		bk := b.Data[kk*n : (kk+1)*n]
-		for i, av := range ak {
-			if av == 0 {
-				continue
-			}
-			oi := out.Data[i*n : (i+1)*n]
-			for j, bv := range bk {
-				oi[j] += av * bv
+	if len(dst.Data) != m*n {
+		panic(fmt.Sprintf("tensor: MatMulATInto dst has %d elements, want %d", len(dst.Data), m*n))
+	}
+	setShape2D(dst, m, n)
+	ParallelFor(m, 2*m*k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			oi := dst.Data[i*n : (i+1)*n]
+			for j := range oi {
+				oi[j] = 0
 			}
 		}
-	}
-	return out
+		// kk stays the outer loop so both operands stream row-wise; each
+		// output element still accumulates in ascending-kk order.
+		for kk := 0; kk < k; kk++ {
+			ak := a.Data[kk*m : (kk+1)*m]
+			bk := b.Data[kk*n : (kk+1)*n]
+			for i := lo; i < hi; i++ {
+				av := ak[i]
+				if av == 0 {
+					continue
+				}
+				oi := dst.Data[i*n : (i+1)*n]
+				for j, bv := range bk {
+					oi[j] += av * bv
+				}
+			}
+		}
+	})
+	return dst
 }
 
-// MatMulBT returns a×bᵀ for 2-D tensors (m×k)·(n×k)ᵀ → (m×n).
-func MatMulBT(a, b *Tensor) *Tensor {
+// MatMulAT returns aᵀ×b for 2-D tensors (k×m)ᵀ·(k×n) → (m×n).
+func MatMulAT(a, b *Tensor) *Tensor {
+	return MatMulATInto(New(a.Cols(), b.Cols()), a, b)
+}
+
+// MatMulBTInto computes a×bᵀ for 2-D tensors (m×k)·(n×k)ᵀ → (m×n) into dst
+// (m·n elements, no aliasing), returning dst. Parallel over output rows;
+// bit-identical to the serial kernel (see MatMulInto).
+func MatMulBTInto(dst, a, b *Tensor) *Tensor {
 	m, k, n := a.Rows(), a.Cols(), b.Rows()
 	if b.Cols() != k {
 		panic(fmt.Sprintf("tensor: MatMulBT inner mismatch %v × %v", a.Shape, b.Shape))
 	}
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		ai := a.Data[i*k : (i+1)*k]
-		oi := out.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			bj := b.Data[j*k : (j+1)*k]
-			var s float64
-			for kk, av := range ai {
-				s += av * bj[kk]
-			}
-			oi[j] = s
-		}
+	if len(dst.Data) != m*n {
+		panic(fmt.Sprintf("tensor: MatMulBTInto dst has %d elements, want %d", len(dst.Data), m*n))
 	}
-	return out
+	setShape2D(dst, m, n)
+	ParallelFor(m, 2*m*k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Data[i*k : (i+1)*k]
+			oi := dst.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b.Data[j*k : (j+1)*k]
+				var s float64
+				for kk, av := range ai {
+					s += av * bj[kk]
+				}
+				oi[j] = s
+			}
+		}
+	})
+	return dst
+}
+
+// MatMulBT returns a×bᵀ for 2-D tensors (m×k)·(n×k)ᵀ → (m×n).
+func MatMulBT(a, b *Tensor) *Tensor {
+	return MatMulBTInto(New(a.Rows(), b.Rows()), a, b)
 }
 
 // ArgmaxRow returns the index of the maximum element in row i.
 func (t *Tensor) ArgmaxRow(i int) int {
-	cols := t.Cols()
-	row := t.Data[i*cols : (i+1)*cols]
+	row := t.RowView(i)
 	best, bv := 0, math.Inf(-1)
 	for j, v := range row {
 		if v > bv {
@@ -261,13 +326,20 @@ func Equal(a, b *Tensor) bool {
 }
 
 // AlmostEqual reports whether two tensors have equal shape and element-wise
-// absolute difference at most tol.
+// absolute difference at most tol. Any NaN element (in either tensor) makes
+// the comparison fail: NaN is never almost-equal to anything, including NaN.
 func AlmostEqual(a, b *Tensor, tol float64) bool {
-	if len(a.Data) != len(b.Data) {
+	if len(a.Shape) != len(b.Shape) {
 		return false
 	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
 	for i := range a.Data {
-		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+		d := math.Abs(a.Data[i] - b.Data[i])
+		if d > tol || math.IsNaN(d) {
 			return false
 		}
 	}

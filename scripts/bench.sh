@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs the tensor/nn/fl benchmarks and writes BENCH_pr1.json mapping each
+# benchmark to ns/op and allocs/op, alongside the pre-change baseline captured
+# on the same host before the parallel-substrate work landed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_pr1.json}
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench . -benchmem -benchtime 200ms \
+	./internal/tensor/... ./internal/nn/... ./internal/fl/... | tee "$raw"
+
+awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns[name] = $3
+	allocs[name] = $7
+	order[n++] = name
+}
+END {
+	printf "{\n"
+	printf "  \"generated_by\": \"scripts/bench.sh\",\n"
+	printf "  \"units\": {\"ns_op\": \"ns/op\", \"allocs_op\": \"allocs/op\"},\n"
+	printf "  \"baseline_seed\": {\n"
+	printf "    \"BenchmarkMatMul64\": {\"ns_op\": 181628, \"allocs_op\": 4},\n"
+	printf "    \"BenchmarkMatMulAT64\": {\"ns_op\": 142610, \"allocs_op\": 4},\n"
+	printf "    \"BenchmarkMatMulBT64\": {\"ns_op\": 128890, \"allocs_op\": 4},\n"
+	printf "    \"BenchmarkTrainBatchMLP\": {\"ns_op\": 265842, \"allocs_op\": 55},\n"
+	printf "    \"BenchmarkConv2DForward\": {\"ns_op\": 1314464, \"allocs_op\": 13},\n"
+	printf "    \"BenchmarkConv2DBackward\": {\"ns_op\": 1709398, \"allocs_op\": 16},\n"
+	printf "    \"BenchmarkLocalTrain\": {\"ns_op\": 865325, \"allocs_op\": 502}\n"
+	printf "  },\n"
+	printf "  \"current\": {\n"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    \"%s\": {\"ns_op\": %s, \"allocs_op\": %s}%s\n", \
+			name, ns[name], allocs[name], (i < n - 1 ? "," : "")
+	}
+	printf "  }\n"
+	printf "}\n"
+}' "$raw" >"$out"
+
+echo "wrote $out"
