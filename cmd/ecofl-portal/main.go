@@ -17,6 +17,7 @@ import (
 	"ecofl/internal/flnet"
 	"ecofl/internal/model"
 	"ecofl/internal/nn"
+	"ecofl/internal/obs"
 	"ecofl/internal/pipeline/runtime"
 )
 
@@ -38,6 +39,7 @@ func main() {
 	dataSeed := flag.Int64("data-seed", 7, "dataset seed (must match server)")
 	datasetSize := flag.Int("dataset-size", 4000, "synthetic dataset size")
 	quantize := flag.Bool("quantize", false, "push int8-quantized updates (8x smaller uplink)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace (chrome://tracing) of the pipeline here on exit")
 	flag.Parse()
 
 	if *id < 0 || *id >= *of {
@@ -60,6 +62,19 @@ func main() {
 	pipe, err := runtime.NewDistributed(tr, cuts, runtime.TCPLinks())
 	if err != nil {
 		log.Fatal(err)
+	}
+	var trace *obs.Trace
+	if *traceOut != "" {
+		trace = obs.NewWall()
+		pipe.SetTrace(trace)
+		defer func() {
+			if err := trace.WriteChromeTraceFile(*traceOut); err != nil {
+				log.Printf("ecofl-portal %d: trace export: %v", *id, err)
+				return
+			}
+			log.Printf("ecofl-portal %d: wrote %d trace events to %s (load in chrome://tracing)",
+				*id, trace.Len(), *traceOut)
+		}()
 	}
 	log.Printf("ecofl-portal %d: shard %d samples, %d-stage pipeline, server %s",
 		*id, shard.Len(), pipe.NumStages(), *server)

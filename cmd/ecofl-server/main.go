@@ -14,15 +14,38 @@ import (
 	"log"
 	"math/rand"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"ecofl/internal/data"
 	"ecofl/internal/flnet"
+	"ecofl/internal/metrics"
 	"ecofl/internal/nn"
 )
 
+// metricsMux builds the observability endpoint: Prometheus exposition at
+// /metrics, a liveness probe at /healthz, and the standard pprof handlers
+// under /debug/pprof/ (registered explicitly — the server deliberately does
+// not use http.DefaultServeMux).
+func metricsMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9000", "listen address")
+	metricsListen := flag.String("metrics-listen", "", "serve /metrics, /healthz and /debug/pprof on this address (empty disables)")
 	alpha := flag.Float64("alpha", 0.5, "asynchronous mixing weight α")
 	dim := flag.Int("dim", 32, "model input dimension")
 	hidden := flag.Int("hidden", 64, "model hidden width")
@@ -49,13 +72,32 @@ func main() {
 	log.Printf("ecofl-server: serving on %s (α=%.2f, model %d→%d→%d)",
 		server.Addr(), *alpha, *dim, *hidden, *classes)
 
-	deadline := time.Now().Add(*duration)
-	for time.Now().Before(deadline) {
-		time.Sleep(*evalEvery)
-		w, version := server.Snapshot()
-		proto.SetFlatWeights(w)
-		log.Printf("ecofl-server: v%d (%d pushes), test accuracy %.1f%%",
-			version, server.Pushes(), proto.Accuracy(tx, ty)*100)
+	if *metricsListen != "" {
+		mln, err := net.Listen("tcp", *metricsListen)
+		if err != nil {
+			log.Fatalf("metrics listener: %v", err)
+		}
+		defer mln.Close()
+		go http.Serve(mln, metricsMux())
+		log.Printf("ecofl-server: metrics on http://%s/metrics", mln.Addr())
+	}
+
+	// Evaluate on a ticker but stop exactly at the deadline: a plain
+	// sleep-loop would overshoot --duration by up to a full --eval-every.
+	deadline := time.NewTimer(*duration)
+	ticker := time.NewTicker(*evalEvery)
+	defer ticker.Stop()
+serveLoop:
+	for {
+		select {
+		case <-deadline.C:
+			break serveLoop
+		case <-ticker.C:
+			w, version := server.Snapshot()
+			proto.SetFlatWeights(w)
+			log.Printf("ecofl-server: v%d (%d pushes), test accuracy %.1f%%",
+				version, server.Pushes(), proto.Accuracy(tx, ty)*100)
+		}
 	}
 	w, version := server.Snapshot()
 	proto.SetFlatWeights(w)

@@ -20,6 +20,7 @@ import (
 
 	"ecofl/internal/device"
 	"ecofl/internal/experiments"
+	"ecofl/internal/metrics"
 	"ecofl/internal/model"
 	"ecofl/internal/partition"
 	"ecofl/internal/pipeline"
@@ -79,31 +80,81 @@ func configureParallelism() {
 	tensor.SetParallelism(n)
 }
 
+// extractMetricsJSON strips the global --metrics-json flag (valid before or
+// after the subcommand, as --metrics-json=path or --metrics-json path) from
+// args and returns the remaining arguments plus the requested output path
+// ("" when absent, "-" for stdout). A global pre-scan keeps the flag working
+// uniformly across every subcommand's FlagSet.
+func extractMetricsJSON(args []string) ([]string, string) {
+	var rest []string
+	var path string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		trimmed := strings.TrimLeft(a, "-")
+		switch {
+		case strings.HasPrefix(trimmed, "metrics-json=") && strings.HasPrefix(a, "-"):
+			path = strings.TrimPrefix(trimmed, "metrics-json=")
+		case trimmed == "metrics-json" && strings.HasPrefix(a, "-") && i+1 < len(args):
+			path = args[i+1]
+			i++
+		default:
+			rest = append(rest, a)
+		}
+	}
+	return rest, path
+}
+
+// dumpMetricsJSON writes the Default registry snapshot as JSON to path
+// ("-" means stdout).
+func dumpMetricsJSON(path string) error {
+	if path == "-" {
+		return metrics.Default.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := metrics.Default.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", path)
+	}
+	return werr
+}
+
 func main() {
 	configureParallelism()
-	if len(os.Args) < 2 {
+	args, metricsJSON := extractMetricsJSON(os.Args[1:])
+	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "fl":
-		err = cmdFL(os.Args[2:])
+		err = cmdFL(args[1:])
 	case "pipeline":
-		err = cmdPipeline(os.Args[2:])
+		err = cmdPipeline(args[1:])
 	case "all":
-		err = cmdAll(os.Args[2:])
+		err = cmdAll(args[1:])
 	case "partition":
-		err = cmdPartition(os.Args[2:])
+		err = cmdPartition(args[1:])
 	case "headlines":
-		err = cmdHeadlines(os.Args[2:])
+		err = cmdHeadlines(args[1:])
 	case "devices":
 		err = cmdDevices()
 	case "migrate":
-		err = cmdMigrate(os.Args[2:])
+		err = cmdMigrate(args[1:])
 	default:
 		usage()
 		os.Exit(2)
+	}
+	if metricsJSON != "" {
+		if merr := dumpMetricsJSON(metricsJSON); err == nil {
+			err = merr
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ecofl:", err)
@@ -121,7 +172,10 @@ commands:
   headlines  [--scale quick|full]
   devices    (print the Table 1 device presets)
   migrate    --model M --devices A,B,C --spike-device N --load F
-  all        [--scale quick|full]`)
+  all        [--scale quick|full]
+
+global flags (any command):
+  --metrics-json <path>   dump an end-of-run metrics snapshot as JSON (- for stdout)`)
 }
 
 func scaleByName(name string) experiments.Scale {

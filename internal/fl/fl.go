@@ -14,7 +14,9 @@ import (
 	"sync/atomic"
 
 	"ecofl/internal/data"
+	"ecofl/internal/metrics"
 	"ecofl/internal/nn"
+	"ecofl/internal/obs"
 	"ecofl/internal/stats"
 	"ecofl/internal/tensor"
 )
@@ -102,6 +104,40 @@ type Config struct {
 	// MeanDelay/StdDelay parameterize the normal distribution the
 	// original response delays are sampled from.
 	MeanDelay, StdDelay float64
+
+	// Trace, when non-nil, records every aggregation round as a span on the
+	// run's virtual clock (one timeline track per group for hierarchical
+	// strategies) for Chrome-trace export. Instrumentation only reads
+	// simulation state — it never touches the rng stream or the math, so
+	// curves are byte-identical with or without a trace attached.
+	Trace *obs.Trace
+}
+
+// flPID is the trace process lane shared by all FL strategies.
+const flPID = 1
+
+// runMetrics are one simulation run's instruments on the Default registry,
+// resolved once at run start so per-round updates never take the registry
+// lock. Every strategy family is labelled by strategy name.
+type runMetrics struct {
+	rounds   *metrics.Counter
+	selected *metrics.Counter
+	roundSec *metrics.Histogram
+	accuracy *metrics.Gauge
+}
+
+func newRunMetrics(strategy string) *runMetrics {
+	return &runMetrics{
+		rounds: metrics.GetCounter("ecofl_fl_rounds_total",
+			"aggregation rounds executed per strategy", "strategy", strategy),
+		selected: metrics.GetCounter("ecofl_fl_selected_clients_total",
+			"client local updates dispatched per strategy", "strategy", strategy),
+		roundSec: metrics.GetHistogram("ecofl_fl_round_virtual_seconds",
+			"virtual-time duration of one aggregation round",
+			metrics.ExpBuckets(1, 2, 10), "strategy", strategy),
+		accuracy: metrics.GetGauge("ecofl_fl_eval_accuracy",
+			"most recent test accuracy of the global model", "strategy", strategy),
+	}
 }
 
 // withDefaults fills unset fields with the paper's configuration.

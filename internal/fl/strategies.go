@@ -5,7 +5,9 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
 
+	"ecofl/internal/metrics"
 	"ecofl/internal/sim"
 )
 
@@ -34,6 +36,9 @@ type RunResult struct {
 	AvgJS, AvgLatency float64
 	// Dropped is the number of clients dropped out at the end.
 	Dropped int
+
+	// rm are the run's instruments on the metrics Default registry.
+	rm *runMetrics
 }
 
 func (r *RunResult) record(t, acc float64) {
@@ -41,6 +46,9 @@ func (r *RunResult) record(t, acc float64) {
 	r.FinalAccuracy = acc
 	if acc > r.BestAccuracy {
 		r.BestAccuracy = acc
+	}
+	if r.rm != nil {
+		r.rm.accuracy.Set(acc)
 	}
 }
 
@@ -133,7 +141,12 @@ func sampleGuided(rng *rand.Rand, clients []*Client, k int, epsilon float64) []*
 func RunFedAvg(pop *Population) *RunResult {
 	cfg := pop.Config
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	res := &RunResult{Strategy: "FedAvg", Participation: make([]int, len(pop.Clients))}
+	res := &RunResult{Strategy: "FedAvg", Participation: make([]int, len(pop.Clients)), rm: newRunMetrics("FedAvg")}
+	tr := cfg.Trace
+	if tr != nil {
+		tr.SetProcessName(flPID, "fl/FedAvg")
+		tr.SetThreadName(flPID, 0, "global rounds")
+	}
 	w := pop.GlobalInit()
 	dyn := dynamics{next: cfg.DynamicInterval, cfg: cfg}
 	t, lastEval := 0.0, math.Inf(-1)
@@ -153,8 +166,15 @@ func RunFedAvg(pop *Population) *RunResult {
 		}
 		updates := pop.TrainClients(rng, sel, w, 0) // plain FedAvg: no proximal term
 		w = WeightedAverage(updates, weights)
+		if tr != nil {
+			tr.Span(flPID, 0, "round", "fl", t, t+roundTime,
+				map[string]float64{"clients": float64(len(sel))})
+		}
 		t += roundTime
 		res.Rounds++
+		res.rm.rounds.Inc()
+		res.rm.selected.Add(int64(len(sel)))
+		res.rm.roundSec.Observe(roundTime)
 		dyn.advance(rng, pop, t)
 		if t-lastEval >= cfg.EvalInterval {
 			res.record(t, pop.Evaluate(w))
@@ -173,7 +193,15 @@ func RunFedAvg(pop *Population) *RunResult {
 func RunFedAsync(pop *Population) *RunResult {
 	cfg := pop.Config
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	res := &RunResult{Strategy: "FedAsync", Participation: make([]int, len(pop.Clients))}
+	res := &RunResult{Strategy: "FedAsync", Participation: make([]int, len(pop.Clients)), rm: newRunMetrics("FedAsync")}
+	staleness := metrics.GetHistogram("ecofl_fl_staleness",
+		"global-model versions elapsed between snapshot and mix-in (FedAsync)",
+		[]float64{0, 1, 2, 4, 8, 16, 32})
+	tr := cfg.Trace
+	if tr != nil {
+		tr.SetProcessName(flPID, "fl/FedAsync")
+		tr.SetThreadName(flPID, 0, "client updates")
+	}
 	w := pop.GlobalInit()
 	dyn := dynamics{next: cfg.DynamicInterval, cfg: cfg}
 
@@ -189,17 +217,27 @@ func RunFedAsync(pop *Population) *RunResult {
 		c := sel[0]
 		snapshot := append([]float64(nil), w...)
 		baseVersion := version
-		finish := eng.Now() + c.Latency()
+		dispatched := eng.Now()
+		finish := dispatched + c.Latency()
 		if finish > cfg.Duration {
 			return
 		}
 		eng.ScheduleAt(finish, func() {
 			update := pop.LocalTrain(rng, c, snapshot, 0)
 			res.Participation[c.ID]++
-			alpha := StalenessAlpha(cfg.Alpha, float64(version-baseVersion), 1.0)
+			stale := float64(version - baseVersion)
+			alpha := StalenessAlpha(cfg.Alpha, stale, 1.0)
 			AsyncMix(w, update, alpha)
 			version++
 			res.Rounds++
+			res.rm.rounds.Inc()
+			res.rm.selected.Inc()
+			res.rm.roundSec.Observe(finish - dispatched)
+			staleness.Observe(stale)
+			if tr != nil {
+				tr.Span(flPID, 0, "update", "fl", dispatched, finish,
+					map[string]float64{"client": float64(c.ID), "staleness": stale})
+			}
 			dyn.advance(rng, pop, eng.Now())
 			if eng.Now()-lastEval >= cfg.EvalInterval {
 				res.record(eng.Now(), pop.Evaluate(w))
@@ -269,7 +307,7 @@ func RunHierarchical(pop *Population, opts HierOptions) *RunResult {
 	if name == "" {
 		name = "hier-" + opts.Grouping.String()
 	}
-	res := &RunResult{Strategy: name, Participation: make([]int, len(pop.Clients))}
+	res := &RunResult{Strategy: name, Participation: make([]int, len(pop.Clients)), rm: newRunMetrics(name)}
 	grouper := &Grouper{Lambda: cfg.Lambda, RT: cfg.RTThreshold, NumClasses: pop.TestClasses()}
 
 	var groups []*Group
@@ -280,6 +318,20 @@ func RunHierarchical(pop *Population, opts HierOptions) *RunResult {
 		groups = grouper.DataOnlyGrouping(rng, pop.Clients, cfg.NumGroups)
 	default:
 		groups = grouper.InitialGrouping(rng, pop.Clients, cfg.NumGroups)
+	}
+
+	tr := cfg.Trace
+	if tr != nil {
+		tr.SetProcessName(flPID, "fl/"+name)
+	}
+	groupSize := make(map[*Group]*metrics.Gauge, len(groups))
+	for _, g := range groups {
+		if tr != nil {
+			tr.SetThreadName(flPID, g.ID, fmt.Sprintf("group %d", g.ID))
+		}
+		groupSize[g] = metrics.GetGauge("ecofl_fl_group_size",
+			"current member count per group", "strategy", name, "group", strconv.Itoa(g.ID))
+		groupSize[g].Set(float64(len(g.Members)))
 	}
 
 	w := pop.GlobalInit()
@@ -341,6 +393,13 @@ func RunHierarchical(pop *Population, opts HierOptions) *RunResult {
 			groupW := WeightedAverage(updates, weights)
 			copy(groupModel[g], groupW)
 			res.Rounds++
+			res.rm.rounds.Inc()
+			res.rm.selected.Add(int64(len(sel)))
+			res.rm.roundSec.Observe(roundTime)
+			if tr != nil {
+				tr.Span(flPID, g.ID, "group-round", "fl", start, now,
+					map[string]float64{"clients": float64(len(sel))})
+			}
 			roundsSinceSync[g]++
 			if roundsSinceSync[g] >= cfg.GroupSyncEvery {
 				// Push the group model to the async aggregator and pull
@@ -360,6 +419,9 @@ func RunHierarchical(pop *Population, opts HierOptions) *RunResult {
 				}
 				for _, c := range pop.Clients {
 					grouper.TryReadmit(c, groups)
+				}
+				for _, gg := range groups {
+					groupSize[gg].Set(float64(len(gg.Members)))
 				}
 			}
 			if now-lastEval >= cfg.EvalInterval {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"ecofl/internal/fl"
 )
@@ -107,29 +108,41 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	cc := countingConn{Conn: conn, in: srvBytesIn, out: srvBytesOut}
+	dec := gob.NewDecoder(cc)
+	enc := gob.NewEncoder(cc)
 	for {
 		var req request
 		if err := dec.Decode(&req); err != nil {
 			return // connection done
 		}
+		t0 := time.Now()
 		var rep reply
 		switch req.Kind {
 		case "pull":
+			srvRequestsPull.Inc()
 			rep.Weights, rep.Version = s.Snapshot()
 		case "push":
+			srvRequestsPush.Inc()
+			if req.Quant != nil {
+				srvPayloadQuant.Inc()
+			} else if req.Weights != nil {
+				srvPayloadRaw.Inc()
+			}
 			if err := s.apply(&req); err != nil {
+				srvPushErrors.Inc()
 				rep.Err = err.Error()
 			} else {
 				rep.Weights, rep.Version = s.Snapshot()
 			}
 		default:
+			srvRequestsBad.Inc()
 			rep.Err = fmt.Sprintf("flnet: unknown request kind %q", req.Kind)
 		}
 		if err := enc.Encode(&rep); err != nil {
 			return
 		}
+		srvRequestSeconds.Observe(time.Since(t0).Seconds())
 	}
 }
 
@@ -170,7 +183,8 @@ func Dial(addr string, id int) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{ID: id, conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	cc := countingConn{Conn: conn, in: cliBytesIn, out: cliBytesOut}
+	return &Client{ID: id, conn: conn, enc: gob.NewEncoder(cc), dec: gob.NewDecoder(cc)}, nil
 }
 
 // Close closes the connection.
@@ -179,6 +193,13 @@ func (c *Client) Close() error { return c.conn.Close() }
 func (c *Client) roundTrip(req *request) (*reply, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if req.Kind == "pull" {
+		cliRequestsPull.Inc()
+	} else {
+		cliRequestsPush.Inc()
+	}
+	t0 := time.Now()
+	defer func() { cliRequestSeconds.Observe(time.Since(t0).Seconds()) }()
 	if err := c.enc.Encode(req); err != nil {
 		return nil, err
 	}

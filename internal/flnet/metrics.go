@@ -1,0 +1,62 @@
+package flnet
+
+import (
+	"net"
+
+	"ecofl/internal/metrics"
+)
+
+// Protocol observability on the metrics Default registry. Counters sit
+// around whole gob round trips — chunky operations — so the cost is a few
+// atomic adds per request, invisible next to encode/decode and TCP. Byte
+// counts are measured at the net.Conn boundary (what actually crossed the
+// wire), not at the payload level, so gob framing overhead is included.
+var (
+	srvRequestsPull = metrics.GetCounter("ecofl_flnet_server_requests_total",
+		"requests served by kind", "kind", "pull")
+	srvRequestsPush = metrics.GetCounter("ecofl_flnet_server_requests_total",
+		"requests served by kind", "kind", "push")
+	srvRequestsBad = metrics.GetCounter("ecofl_flnet_server_requests_total",
+		"requests served by kind", "kind", "unknown")
+	srvPushErrors = metrics.GetCounter("ecofl_flnet_server_push_errors_total",
+		"pushes rejected (bad payload or dimension mismatch)")
+	srvPayloadRaw = metrics.GetCounter("ecofl_flnet_server_push_payload_total",
+		"push payloads received by encoding", "encoding", "raw")
+	srvPayloadQuant = metrics.GetCounter("ecofl_flnet_server_push_payload_total",
+		"push payloads received by encoding", "encoding", "quantized")
+	srvBytesIn = metrics.GetCounter("ecofl_flnet_server_bytes_read_total",
+		"bytes read from portal connections")
+	srvBytesOut = metrics.GetCounter("ecofl_flnet_server_bytes_written_total",
+		"bytes written to portal connections")
+	srvRequestSeconds = metrics.GetHistogram("ecofl_flnet_server_request_seconds",
+		"server-side latency from request decode to reply flush", metrics.DefBuckets)
+
+	cliRequestsPull = metrics.GetCounter("ecofl_flnet_client_requests_total",
+		"round trips issued by kind", "kind", "pull")
+	cliRequestsPush = metrics.GetCounter("ecofl_flnet_client_requests_total",
+		"round trips issued by kind", "kind", "push")
+	cliBytesIn = metrics.GetCounter("ecofl_flnet_client_bytes_read_total",
+		"bytes read from the server connection")
+	cliBytesOut = metrics.GetCounter("ecofl_flnet_client_bytes_written_total",
+		"bytes written to the server connection")
+	cliRequestSeconds = metrics.GetHistogram("ecofl_flnet_client_request_seconds",
+		"client-side round-trip latency", metrics.DefBuckets)
+)
+
+// countingConn counts every byte crossing a net.Conn into a counter pair.
+type countingConn struct {
+	net.Conn
+	in, out *metrics.Counter
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(int64(n))
+	return n, err
+}

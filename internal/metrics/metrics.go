@@ -1,0 +1,356 @@
+// Package metrics is a stdlib-only runtime metrics substrate: a
+// concurrency-safe registry of counters, gauges, and fixed-bucket histograms
+// with cheap hot-path updates (one atomic op for a counter increment), a
+// snapshot API for tests and end-of-run dumps, and a Prometheus text-format
+// exposition writer so a live server can be scraped by standard tooling.
+//
+// Metric handles are obtained once (typically into a package-level var or a
+// struct field) and then updated lock-free; the registry lock is only taken
+// at registration and snapshot time, never on the hot path.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates the metric types in snapshots.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Counter is a monotonically non-decreasing integer. Durations are counted in
+// integer nanoseconds (name them *_nanoseconds_total) so the hot path stays a
+// single atomic add — no float CAS loop.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0 to keep the counter monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous float64 value (set-dominated; Add uses a CAS
+// loop and is intended for low-rate adjustments).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d to the gauge.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed upper-bound buckets (plus an
+// implicit +Inf bucket) and tracks the running sum, matching the Prometheus
+// histogram model. Observe is lock-free.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds, exclusive of +Inf
+	counts  []atomic.Int64
+	inf     atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Buckets are few (≤ ~20); a linear scan beats binary search at this size
+	// and keeps the code allocation-free.
+	placed := false
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf.Add(1)
+	}
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	n := h.inf.Load()
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the histogram's (non-+Inf) upper bounds.
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// DefBuckets is a general-purpose latency bucket layout in seconds, spanning
+// 100 µs to ~10 s.
+var DefBuckets = []float64{1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// ExpBuckets returns n exponentially growing upper bounds starting at start
+// and multiplying by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("metrics: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// metric is one registered instrument.
+type metric struct {
+	family string   // name without labels
+	labels []string // alternating k, v — sorted by key, pre-validated
+	kind   Kind
+	help   string
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// fullName renders family{k="v",...} with an optional extra label appended
+// (used for the histogram "le" label).
+func (m *metric) fullName(extraK, extraV string) string {
+	if len(m.labels) == 0 && extraK == "" {
+		return m.family
+	}
+	var b strings.Builder
+	b.WriteString(m.family)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(m.labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", m.labels[i], m.labels[i+1])
+	}
+	if extraK != "" {
+		if len(m.labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraK, extraV)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry. A package-level Default registry serves the common case.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric // keyed by fullName("","")
+	order   []string           // registration order of keys
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// Default is the process-wide registry used by the package-level helpers and
+// by instrumented subsystems that are not handed an explicit registry.
+var Default = NewRegistry()
+
+// labelPairs validates and normalizes alternating key/value label arguments.
+func labelPairs(name string, kv []string) []string {
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("metrics: %s: odd label list %v", name, kv))
+	}
+	if len(kv) == 0 {
+		return nil
+	}
+	out := append([]string(nil), kv...)
+	// Sort pairs by key so the same label set always yields the same key.
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(out)/2)
+	for i := 0; i+1 < len(out); i += 2 {
+		if out[i] == "" || strings.ContainsAny(out[i], `{}",=`) {
+			panic(fmt.Sprintf("metrics: %s: bad label name %q", name, out[i]))
+		}
+		pairs = append(pairs, pair{out[i], out[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	out = out[:0]
+	for _, p := range pairs {
+		out = append(out, p.k, p.v)
+	}
+	return out
+}
+
+// lookup returns the metric registered under (name, labels), creating it with
+// mk when absent. It panics if the name is reused with a different kind —
+// that is always an instrumentation bug worth failing loudly on.
+func (r *Registry) lookup(name, help string, kind Kind, kv []string, mk func(m *metric)) *metric {
+	labels := labelPairs(name, kv)
+	probe := &metric{family: name, labels: labels}
+	key := probe.fullName("", "")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[key]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("metrics: %s registered as %v, requested as %v", key, m.kind, kind))
+		}
+		return m
+	}
+	probe.kind = kind
+	probe.help = help
+	mk(probe)
+	r.metrics[key] = probe
+	r.order = append(r.order, key)
+	return probe
+}
+
+// Counter returns the counter registered under name and optional label
+// pairs, creating it on first use.
+func (r *Registry) Counter(name, help string, labelKV ...string) *Counter {
+	m := r.lookup(name, help, KindCounter, labelKV, func(m *metric) { m.counter = &Counter{} })
+	return m.counter
+}
+
+// Gauge returns the gauge registered under name and optional label pairs.
+func (r *Registry) Gauge(name, help string, labelKV ...string) *Gauge {
+	m := r.lookup(name, help, KindGauge, labelKV, func(m *metric) { m.gauge = &Gauge{} })
+	return m.gauge
+}
+
+// Histogram returns the histogram registered under name with the given
+// bucket upper bounds (sorted internally; +Inf is implicit). Buckets are
+// fixed at first registration; later calls with the same name return the
+// existing histogram regardless of the bounds argument.
+func (r *Registry) Histogram(name, help string, bounds []float64, labelKV ...string) *Histogram {
+	m := r.lookup(name, help, KindHistogram, labelKV, func(m *metric) {
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		h := &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs))}
+		m.hist = h
+	})
+	return m.hist
+}
+
+// Counter, Gauge and Histogram on the Default registry.
+func GetCounter(name, help string, labelKV ...string) *Counter {
+	return Default.Counter(name, help, labelKV...)
+}
+func GetGauge(name, help string, labelKV ...string) *Gauge {
+	return Default.Gauge(name, help, labelKV...)
+}
+func GetHistogram(name, help string, bounds []float64, labelKV ...string) *Histogram {
+	return Default.Histogram(name, help, bounds, labelKV...)
+}
+
+// BucketSample is one cumulative histogram bucket in a snapshot.
+type BucketSample struct {
+	UpperBound float64 // math.Inf(1) for the +Inf bucket
+	Cumulative int64
+}
+
+// Sample is one metric's state at snapshot time.
+type Sample struct {
+	Name   string // full name including labels
+	Family string
+	Kind   Kind
+	Help   string
+	// Value carries the counter or gauge value (counters as float64 for
+	// uniformity; use Count/Sum/Buckets for histograms).
+	Value   float64
+	Count   int64
+	Sum     float64
+	Buckets []BucketSample
+}
+
+// Snapshot returns every metric's current state, sorted by full name. It is
+// safe to call concurrently with hot-path updates; each metric is read
+// atomically (histograms bucket-by-bucket).
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	keys := append([]string(nil), r.order...)
+	ms := make([]*metric, len(keys))
+	for i, k := range keys {
+		ms[i] = r.metrics[k]
+	}
+	r.mu.Unlock()
+
+	out := make([]Sample, 0, len(ms))
+	for i, m := range ms {
+		s := Sample{Name: keys[i], Family: m.family, Kind: m.kind, Help: m.help}
+		switch m.kind {
+		case KindCounter:
+			s.Value = float64(m.counter.Value())
+		case KindGauge:
+			s.Value = m.gauge.Value()
+		case KindHistogram:
+			h := m.hist
+			var cum int64
+			for bi, b := range h.bounds {
+				cum += h.counts[bi].Load()
+				s.Buckets = append(s.Buckets, BucketSample{UpperBound: b, Cumulative: cum})
+			}
+			cum += h.inf.Load()
+			s.Buckets = append(s.Buckets, BucketSample{UpperBound: math.Inf(1), Cumulative: cum})
+			s.Count = cum
+			s.Sum = h.Sum()
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Get returns the sample for a full metric name (including labels), or false.
+func (r *Registry) Get(name string) (Sample, bool) {
+	for _, s := range r.Snapshot() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Sample{}, false
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecofl/internal/nn"
+	"ecofl/internal/tensor"
+)
+
+// trainBatchLoop is the shared TrainBatch hot loop: one forward/backward/
+// update step per iteration, with per-step spans recorded through tr (which
+// may be nil — the nop recorder).
+func trainBatchLoop(b *testing.B, tr *Trace) {
+	rng := rand.New(rand.NewSource(1))
+	net := nn.NewMLP(rng, 32, 64, 10)
+	x := tensor.Randn(rng, 1, 16, 32)
+	labels := make([]int, 16)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	opt := &nn.SGD{LR: 0.01}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin(0, 0, "TrainBatch", "compute")
+		net.TrainBatch(x, labels, opt)
+		sp.End()
+	}
+}
+
+// BenchmarkTrainBatchBare is the uninstrumented baseline.
+func BenchmarkTrainBatchBare(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := nn.NewMLP(rng, 32, 64, 10)
+	x := tensor.Randn(rng, 1, 16, 32)
+	labels := make([]int, 16)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	opt := &nn.SGD{LR: 0.01}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.TrainBatch(x, labels, opt)
+	}
+}
+
+// BenchmarkTrainBatchNopRecorder runs the same loop through a nil *Trace —
+// comparing its ns/op against BenchmarkTrainBatchBare proves the disabled
+// recorder adds ~0 ns to the hot path.
+func BenchmarkTrainBatchNopRecorder(b *testing.B) {
+	trainBatchLoop(b, nil)
+}
+
+// BenchmarkTrainBatchRecording is the enabled-recorder cost for scale.
+func BenchmarkTrainBatchRecording(b *testing.B) {
+	trainBatchLoop(b, NewWall())
+}
+
+// BenchmarkNopSpanOnly isolates the per-span overhead of the nop recorder:
+// a Begin/End pair on a nil *Trace, nothing else.
+func BenchmarkNopSpanOnly(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin(0, 0, "x", "y")
+		sp.End()
+	}
+}

@@ -7,11 +7,16 @@ import (
 	"sync"
 	"time"
 
+	"ecofl/internal/metrics"
 	"ecofl/internal/model"
 	"ecofl/internal/nn"
+	"ecofl/internal/obs"
 	"ecofl/internal/simnet"
 	"ecofl/internal/tensor"
 )
+
+var distRoundsTotal = metrics.GetCounter("ecofl_pipeline_dist_rounds_total",
+	"1F1B-Sync sync-rounds executed over real network links")
 
 // This file is the distributed flavour of the pipeline runtime: stage
 // workers exchange activations and gradients as gob messages over real
@@ -191,6 +196,10 @@ func NewDistributed(tr *model.Trainable, cuts []int, dial Dialer) (*DistPipeline
 	return &DistPipeline{inner: p, dial: dial}, nil
 }
 
+// SetTrace attaches a span recorder to the stage workers: subsequent rounds
+// record per-micro-batch fwd/bwd spans and network-wait spans per stage.
+func (d *DistPipeline) SetTrace(tr *obs.Trace) { d.inner.SetTrace(tr) }
+
 // Network returns the underlying full network (shared parameters).
 func (d *DistPipeline) Network() *nn.Network { return d.inner.Network() }
 
@@ -253,6 +262,8 @@ func (d *DistPipeline) TrainSyncRound(x *tensor.Tensor, labels []int, mbs int, o
 	}
 	wg.Wait()
 	stats.WallTime = time.Since(start)
+	distRoundsTotal.Inc()
+	samplesTotal.Add(int64(rows))
 	d.mu.Lock()
 	d.lastStats = stats
 	d.mu.Unlock()
@@ -274,6 +285,8 @@ func (d *DistPipeline) TrainSyncRound(x *tensor.Tensor, labels []int, mbs int, o
 func (d *DistPipeline) runStage(s, S, m int, micros []*tensor.Tensor, microLabels [][]int,
 	totalRows int, losses []float64, down, up *link, busy *time.Duration) error {
 	seg := d.inner.segments[s]
+	sm := d.inner.sm[s]
+	tr := d.inner.trace
 	caches := make([][]nn.Cache, m)
 	outputs := make([]*tensor.Tensor, m)
 	for _, o := range order1F1B(m, S-s) {
@@ -282,7 +295,11 @@ func (d *DistPipeline) runStage(s, S, m int, micros []*tensor.Tensor, microLabel
 			if s == 0 {
 				in = micros[o.micro]
 			} else {
+				wait := tr.Begin(0, s, "wait-act", "net")
+				t0 := time.Now()
 				micro, t, err := down.recv()
+				sm.stallNanos.Add(time.Since(t0).Nanoseconds())
+				wait.End()
 				if err != nil {
 					return fmt.Errorf("stage %d recv act: %w", s, err)
 				}
@@ -291,9 +308,13 @@ func (d *DistPipeline) runStage(s, S, m int, micros []*tensor.Tensor, microLabel
 				}
 				in = t
 			}
+			sp := tr.Begin(0, s, "fwd", "compute")
 			t0 := time.Now()
 			out, c := seg.Forward(in)
 			*busy += time.Since(t0)
+			sm.busyNanos.Add(time.Since(t0).Nanoseconds())
+			sm.fwd.Inc()
+			sp.EndMicro(o.micro)
 			caches[o.micro] = c
 			if s == S-1 {
 				outputs[o.micro] = out
@@ -308,7 +329,11 @@ func (d *DistPipeline) runStage(s, S, m int, micros []*tensor.Tensor, microLabel
 				losses[o.micro] = loss
 				dy.Scale(float64(outputs[o.micro].Rows()) / float64(totalRows))
 			} else {
+				wait := tr.Begin(0, s, "wait-grad", "net")
+				t0 := time.Now()
 				micro, t, err := up.recv()
+				sm.stallNanos.Add(time.Since(t0).Nanoseconds())
+				wait.End()
 				if err != nil {
 					return fmt.Errorf("stage %d recv grad: %w", s, err)
 				}
@@ -317,9 +342,13 @@ func (d *DistPipeline) runStage(s, S, m int, micros []*tensor.Tensor, microLabel
 				}
 				dy = t
 			}
+			sp := tr.Begin(0, s, "bwd", "compute")
 			t0 := time.Now()
 			dx := seg.Backward(caches[o.micro], dy)
 			*busy += time.Since(t0)
+			sm.busyNanos.Add(time.Since(t0).Nanoseconds())
+			sm.bwd.Inc()
+			sp.EndMicro(o.micro)
 			caches[o.micro] = nil
 			if s > 0 {
 				if err := down.send(o.micro, dx); err != nil {

@@ -11,12 +11,50 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
+	"time"
 
+	"ecofl/internal/metrics"
 	"ecofl/internal/model"
 	"ecofl/internal/nn"
+	"ecofl/internal/obs"
 	"ecofl/internal/tensor"
 )
+
+// Observability: per-stage counters on the Default registry plus optional
+// span recording through an obs.Trace. Counters are cheap atomic adds; span
+// recording costs nothing when no trace is attached (nil *obs.Trace is the
+// nop recorder). None of it touches the math — pipelined updates remain
+// bit-identical to sequential training.
+var (
+	roundsTotal = metrics.GetCounter("ecofl_pipeline_rounds_total",
+		"1F1B-Sync sync-rounds executed by the live pipeline runtime")
+	samplesTotal = metrics.GetCounter("ecofl_pipeline_samples_total",
+		"training samples pushed through the live pipeline runtime")
+)
+
+// stageMetrics are one stage's hot-path instruments, resolved once at
+// pipeline construction so per-op updates never take the registry lock.
+type stageMetrics struct {
+	fwd, bwd   *metrics.Counter // micro-batch ops executed
+	busyNanos  *metrics.Counter // time inside Forward/Backward
+	stallNanos *metrics.Counter // time blocked waiting for inputs (queue-wait)
+}
+
+func newStageMetrics(s int) stageMetrics {
+	lbl := strconv.Itoa(s)
+	return stageMetrics{
+		fwd: metrics.GetCounter("ecofl_pipeline_stage_fwd_total",
+			"forward micro-batch ops per stage", "stage", lbl),
+		bwd: metrics.GetCounter("ecofl_pipeline_stage_bwd_total",
+			"backward micro-batch ops per stage", "stage", lbl),
+		busyNanos: metrics.GetCounter("ecofl_pipeline_stage_busy_nanoseconds_total",
+			"time per stage spent inside Forward/Backward", "stage", lbl),
+		stallNanos: metrics.GetCounter("ecofl_pipeline_stage_stall_nanoseconds_total",
+			"time per stage spent blocked on activation/gradient queues", "stage", lbl),
+	}
+}
 
 // Pipeline is a live pipelined trainer over a block-aligned Trainable.
 type Pipeline struct {
@@ -24,6 +62,8 @@ type Pipeline struct {
 	// boundaries[s] .. boundaries[s+1] are the blocks of stage s.
 	boundaries []int
 	segments   []*nn.Network
+	sm         []stageMetrics
+	trace      *obs.Trace
 }
 
 // New builds a pipeline from cut points (block indices where the model is
@@ -41,8 +81,22 @@ func New(tr *model.Trainable, cuts []int) (*Pipeline, error) {
 	p := &Pipeline{trainable: tr, boundaries: b}
 	for s := 0; s+1 < len(b); s++ {
 		p.segments = append(p.segments, tr.SegmentNet(b[s], b[s+1]))
+		p.sm = append(p.sm, newStageMetrics(s))
 	}
 	return p, nil
+}
+
+// SetTrace attaches a span recorder: every subsequent sync-round records
+// per-micro-batch forward/backward spans and queue-wait spans, one timeline
+// track per stage. A nil trace (the default) disables recording at ~0 cost.
+func (p *Pipeline) SetTrace(tr *obs.Trace) {
+	p.trace = tr
+	if tr != nil {
+		tr.SetProcessName(0, "pipeline")
+		for s := range p.segments {
+			tr.SetThreadName(0, s, fmt.Sprintf("stage %d", s))
+		}
+	}
 }
 
 // NumStages returns the number of pipeline stages.
@@ -132,19 +186,30 @@ func (p *Pipeline) TrainSyncRound(x *tensor.Tensor, labels []int, mbs int, opt *
 	}
 
 	losses := make([]float64, m)
+	tr := p.trace
 	var wg sync.WaitGroup
 	for s := 0; s < S; s++ {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
 			seg := p.segments[s]
+			sm := p.sm[s]
 			caches := make([][]nn.Cache, m)
 			outputs := make([]*tensor.Tensor, m) // last stage keeps logits
 			// Residency K_s = S − s suffices in-process (no comm delay).
 			for _, o := range order1F1B(m, S-s) {
 				if o.forward {
+					wait := tr.Begin(0, s, "wait-act", "queue")
+					t0 := time.Now()
 					in := <-actCh[s]
+					t1 := time.Now()
+					sm.stallNanos.Add(t1.Sub(t0).Nanoseconds())
+					wait.End()
+					sp := tr.Begin(0, s, "fwd", "compute")
 					out, c := seg.Forward(in)
+					sm.busyNanos.Add(time.Since(t1).Nanoseconds())
+					sm.fwd.Inc()
+					sp.EndMicro(o.micro)
 					caches[o.micro] = c
 					if s == S-1 {
 						outputs[o.micro] = out
@@ -153,6 +218,7 @@ func (p *Pipeline) TrainSyncRound(x *tensor.Tensor, labels []int, mbs int, opt *
 					}
 				} else {
 					var dy *tensor.Tensor
+					t1 := time.Now()
 					if s == S-1 {
 						var loss float64
 						loss, dy = nn.SoftmaxCrossEntropy(outputs[o.micro], microLabels[o.micro])
@@ -161,9 +227,18 @@ func (p *Pipeline) TrainSyncRound(x *tensor.Tensor, labels []int, mbs int, opt *
 						// sample-weighted mean of micro-batch gradients.
 						dy.Scale(float64(outputs[o.micro].Rows()) / float64(rows))
 					} else {
+						wait := tr.Begin(0, s, "wait-grad", "queue")
+						t0 := t1
 						dy = <-gradCh[s+1]
+						t1 = time.Now()
+						sm.stallNanos.Add(t1.Sub(t0).Nanoseconds())
+						wait.End()
 					}
+					sp := tr.Begin(0, s, "bwd", "compute")
 					dx := seg.Backward(caches[o.micro], dy)
+					sm.busyNanos.Add(time.Since(t1).Nanoseconds())
+					sm.bwd.Inc()
+					sp.EndMicro(o.micro)
 					caches[o.micro] = nil
 					if s > 0 {
 						gradCh[s] <- dx
@@ -173,6 +248,8 @@ func (p *Pipeline) TrainSyncRound(x *tensor.Tensor, labels []int, mbs int, opt *
 		}(s)
 	}
 	wg.Wait()
+	roundsTotal.Inc()
+	samplesTotal.Add(int64(rows))
 
 	// Pipeline flush: one synchronous update over the accumulated grads.
 	opt.Step(p.Network().Params())

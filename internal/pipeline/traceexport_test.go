@@ -1,0 +1,74 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestScheduleChromeTrace drives a schedule through the Chrome exporter and
+// checks the output is valid trace-event JSON whose "X" spans match the
+// schedule's task count exactly, with timestamps in microseconds.
+func TestScheduleChromeTrace(t *testing.T) {
+	res, err := Schedule(balancedConfig(3, 6, OneFOneBSync))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	var spans, compute, comm int
+	var maxEnd float64
+	for _, e := range out.TraceEvents {
+		switch e.Ph {
+		case "M":
+		case "X":
+			spans++
+			switch e.Cat {
+			case "compute":
+				compute++
+			case "comm":
+				comm++
+			default:
+				t.Fatalf("unexpected span category %q", e.Cat)
+			}
+			if end := e.TS + e.Dur; end > maxEnd {
+				maxEnd = end
+			}
+		default:
+			t.Fatalf("unexpected ph %q", e.Ph)
+		}
+	}
+	if spans != len(res.Tasks) {
+		t.Fatalf("trace has %d spans, schedule has %d tasks", spans, len(res.Tasks))
+	}
+	var wantCompute, wantComm int
+	for _, task := range res.Tasks {
+		if task.Kind == TaskForward || task.Kind == TaskBackward {
+			wantCompute++
+		} else {
+			wantComm++
+		}
+	}
+	if compute != wantCompute || comm != wantComm {
+		t.Fatalf("compute/comm spans = %d/%d, want %d/%d", compute, comm, wantCompute, wantComm)
+	}
+	// Last span ends at the makespan (µs conversion).
+	if got, want := maxEnd, res.RoundTime*1e6; got < want*0.999 || got > want*1.001 {
+		t.Fatalf("trace ends at %v µs, schedule makespan is %v µs", got, want)
+	}
+}

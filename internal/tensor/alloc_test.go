@@ -1,0 +1,64 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// MatMul's steady-state allocation budget, pinned so it cannot silently
+// creep. The breakdown on the serial path (the one benchmarks exercise on
+// small hosts, where GOMAXPROCS < 2 forces every kernel inline):
+//
+//   - New(m, n): 4 allocations — the Tensor struct, the copied Shape slice,
+//     the Data backing array, and the variadic shape argument.
+//   - The ParallelFor body closure: 1 allocation. The closure captures the
+//     operand tensors and MAY be handed to pool workers, so escape analysis
+//     heap-allocates it at the call site even when the serial branch runs.
+//     This is the +1 over the pre-pool kernels (BENCH seed: 4 allocs/op,
+//     now 5): a fixed 24-byte cost per kernel call — not per element — that
+//     buys the zero-copy hand-off to the worker pool. Eliminating it would
+//     mean duplicating every kernel body into serial and parallel variants.
+//
+// The parallel path adds O(Parallelism) more (one wrapper closure per
+// submitted block plus the WaitGroup), still independent of matrix size.
+const (
+	matMulSerialAllocs   = 5
+	matMulParallelExtras = 16 // generous bound for blocks + sync at p=8
+)
+
+func TestMatMulAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(rng, 1, 64, 64)
+	y := Randn(rng, 1, 64, 64)
+	defer requestedParallelism.Store(0) // back to the GOMAXPROCS default
+
+	SetParallelism(1)
+	if got := testing.AllocsPerRun(100, func() { MatMul(x, y) }); got > matMulSerialAllocs {
+		t.Errorf("serial MatMul allocates %.0f/op, budget %d — the kernel hot path regressed", got, matMulSerialAllocs)
+	}
+	SetParallelism(8)
+	if got := testing.AllocsPerRun(100, func() { MatMul(x, y) }); got > matMulSerialAllocs+matMulParallelExtras {
+		t.Errorf("parallel MatMul allocates %.0f/op, budget %d", got, matMulSerialAllocs+matMulParallelExtras)
+	}
+}
+
+// TestMatMulIntoAllocFree pins the Into-variant: with a caller-provided
+// destination the serial kernel performs zero allocations beyond the
+// dispatch closure.
+func TestMatMulIntoAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(rng, 1, 64, 64)
+	y := Randn(rng, 1, 64, 64)
+	dst := New(64, 64)
+	SetParallelism(1)
+	defer requestedParallelism.Store(0)
+	if got := testing.AllocsPerRun(100, func() { MatMulInto(dst, x, y) }); got > 1 {
+		t.Errorf("serial MatMulInto allocates %.0f/op, want ≤1 (the dispatch closure)", got)
+	}
+}

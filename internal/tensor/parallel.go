@@ -4,6 +4,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"ecofl/internal/metrics"
 )
 
 // The kernels in this package split their output across a small package-level
@@ -26,6 +29,28 @@ var (
 	workerMu    sync.Mutex
 	workerCount int
 	workQueue   chan func()
+)
+
+// Pool observability: resident-worker busy/idle split and task throughput.
+// Tasks are chunky (ParallelFor only dispatches when the estimated work
+// exceeds minParallelWork), so the two time.Now calls per task are noise;
+// every update is a single atomic add. Inline fallbacks (queue saturated)
+// are counted separately and not timed — they run on the caller's clock.
+var (
+	poolWorkersGauge = metrics.GetGauge("ecofl_tensor_pool_workers",
+		"resident worker goroutines in the tensor compute pool")
+	poolTasksTotal = metrics.GetCounter("ecofl_tensor_pool_tasks_total",
+		"row-block tasks executed by pool workers")
+	poolInlineTotal = metrics.GetCounter("ecofl_tensor_pool_inline_tasks_total",
+		"row-block tasks run inline on the caller because the queue was full")
+	poolBusyNanos = metrics.GetCounter("ecofl_tensor_pool_busy_nanoseconds_total",
+		"total time pool workers spent executing tasks")
+	poolIdleNanos = metrics.GetCounter("ecofl_tensor_pool_idle_nanoseconds_total",
+		"total time resident pool workers spent waiting for tasks")
+	parallelForSerial = metrics.GetCounter("ecofl_tensor_parallel_for_total",
+		"ParallelFor invocations by dispatch path", "path", "serial")
+	parallelForParallel = metrics.GetCounter("ecofl_tensor_parallel_for_total",
+		"ParallelFor invocations by dispatch path", "path", "parallel")
 )
 
 // Parallelism returns the number of row-block workers kernels may use.
@@ -60,11 +85,18 @@ func ensureWorkers(n int) {
 	for workerCount < n {
 		workerCount++
 		go func() {
+			idleSince := time.Now()
 			for f := range workQueue {
+				t0 := time.Now()
+				poolIdleNanos.Add(t0.Sub(idleSince).Nanoseconds())
 				f()
+				idleSince = time.Now()
+				poolBusyNanos.Add(idleSince.Sub(t0).Nanoseconds())
+				poolTasksTotal.Inc()
 			}
 		}()
 	}
+	poolWorkersGauge.Set(float64(workerCount))
 	workerMu.Unlock()
 }
 
@@ -75,6 +107,7 @@ func submit(f func()) {
 	select {
 	case workQueue <- f:
 	default:
+		poolInlineTotal.Inc()
 		f()
 	}
 }
@@ -94,9 +127,11 @@ func ParallelFor(n, work int, fn func(lo, hi int)) {
 		p = n
 	}
 	if p < 2 || work < minParallelWork {
+		parallelForSerial.Inc()
 		fn(0, n)
 		return
 	}
+	parallelForParallel.Inc()
 	ensureWorkers(p - 1)
 	chunk := (n + p - 1) / p
 	var wg sync.WaitGroup

@@ -1,0 +1,7 @@
+//go:build race
+
+package tensor
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates, which invalidates allocation-count tests.
+const raceEnabled = true

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestCSVNonFiniteRoundTrip pins the wire format for the values experiment
+// curves actually produce at the edges: TimeToAccuracy returns +Inf when a
+// target is never reached, and division by a zero denominator yields NaN.
+// FormatFloat renders them as "NaN"/"+Inf"/"-Inf" and ParseFloat accepts
+// those spellings, so they must survive a write/read cycle.
+func TestCSVNonFiniteRoundTrip(t *testing.T) {
+	s := New("edge", "t", "v")
+	s.Add(0, math.NaN())
+	s.Add(1, math.Inf(1))
+	s.Add(2, math.Inf(-1))
+
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("edge", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("non-finite values did not survive the round trip: %v\n%s", err, b.String())
+	}
+	v, err := got.Col("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(v[0]) {
+		t.Errorf("row 0: got %v, want NaN", v[0])
+	}
+	if !math.IsInf(v[1], 1) {
+		t.Errorf("row 1: got %v, want +Inf", v[1])
+	}
+	if !math.IsInf(v[2], -1) {
+		t.Errorf("row 2: got %v, want -Inf", v[2])
+	}
+}
+
+// TestCSVEmptySeriesRoundTrip: a series with columns but no rows writes a
+// header-only CSV that reads back as an empty series — not an error (an
+// experiment that produced no samples is still a valid artifact).
+func TestCSVEmptySeriesRoundTrip(t *testing.T) {
+	s := New("empty", "a", "b")
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("empty", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("rows = %d, want 0", got.Len())
+	}
+	if len(got.Cols) != 2 || got.Cols[0] != "a" || got.Cols[1] != "b" {
+		t.Fatalf("cols = %v, want [a b]", got.Cols)
+	}
+	// A zero-column series is degenerate: its header is a blank line, which
+	// the csv reader skips, so it does NOT round-trip — the reader reports
+	// an empty CSV rather than silently inventing a shape.
+	noCols := New("nocols")
+	b.Reset()
+	if err := noCols.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCSV("nocols", strings.NewReader(b.String())); err == nil {
+		t.Fatal("zero-column series must fail to read back (blank header)")
+	}
+}
+
+// TestCSVDuplicateColumns documents the lookup contract under column-name
+// collisions: Col returns the FIRST matching column, and duplicate names
+// survive a CSV round trip positionally intact.
+func TestCSVDuplicateColumns(t *testing.T) {
+	s := New("dup", "x", "x")
+	s.Add(1, 2)
+	x, err := s.Col("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != 1 || x[0] != 1 {
+		t.Fatalf("Col(x) = %v, want first column [1]", x)
+	}
+
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("dup", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cols) != 2 || got.Cols[0] != "x" || got.Cols[1] != "x" {
+		t.Fatalf("cols = %v, want [x x]", got.Cols)
+	}
+	if got.Rows[0][0] != 1 || got.Rows[0][1] != 2 {
+		t.Fatalf("row = %v, want [1 2]", got.Rows[0])
+	}
+}
+
+// TestReadCSVRaggedRowRejected: the csv package enforces per-record field
+// counts against the header, so a truncated row fails loudly instead of
+// silently misaligning columns.
+func TestReadCSVRaggedRowRejected(t *testing.T) {
+	if _, err := ReadCSV("ragged", strings.NewReader("a,b\n1\n")); err == nil {
+		t.Fatal("ragged row must be rejected")
+	}
+}

@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
-# Runs the tensor/nn/fl benchmarks and writes BENCH_pr1.json mapping each
-# benchmark to ns/op and allocs/op, alongside the pre-change baseline captured
-# on the same host before the parallel-substrate work landed.
+# Runs the tensor/nn/fl/obs benchmarks and writes BENCH_pr2.json mapping each
+# benchmark to ns/op and allocs/op, alongside the seed baseline and the PR1
+# numbers captured on the same host. The obs benchmarks compare an
+# uninstrumented TrainBatch hot loop (BenchmarkTrainBatchBare) against the
+# same loop through a nil *obs.Trace (BenchmarkTrainBatchNopRecorder): their
+# ns/op should be statistically indistinguishable, proving the disabled
+# recorder costs ~0.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_pr1.json}
+out=${1:-BENCH_pr2.json}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' -bench . -benchmem -benchtime 200ms \
-	./internal/tensor/... ./internal/nn/... ./internal/fl/... | tee "$raw"
+	./internal/tensor/... ./internal/nn/... ./internal/fl/... \
+	./internal/obs/... | tee "$raw"
 
 awk '
 /^Benchmark/ {
@@ -24,6 +29,7 @@ END {
 	printf "{\n"
 	printf "  \"generated_by\": \"scripts/bench.sh\",\n"
 	printf "  \"units\": {\"ns_op\": \"ns/op\", \"allocs_op\": \"allocs/op\"},\n"
+	printf "  \"notes\": \"MatMul* allocs_op is 5 vs seed 4: +1 fixed heap closure for the worker-pool dispatch (documented in internal/tensor/alloc_test.go, guarded there). Compare BenchmarkTrainBatchBare vs BenchmarkTrainBatchNopRecorder for the nop-recorder overhead.\",\n"
 	printf "  \"baseline_seed\": {\n"
 	printf "    \"BenchmarkMatMul64\": {\"ns_op\": 181628, \"allocs_op\": 4},\n"
 	printf "    \"BenchmarkMatMulAT64\": {\"ns_op\": 142610, \"allocs_op\": 4},\n"
@@ -32,6 +38,15 @@ END {
 	printf "    \"BenchmarkConv2DForward\": {\"ns_op\": 1314464, \"allocs_op\": 13},\n"
 	printf "    \"BenchmarkConv2DBackward\": {\"ns_op\": 1709398, \"allocs_op\": 16},\n"
 	printf "    \"BenchmarkLocalTrain\": {\"ns_op\": 865325, \"allocs_op\": 502}\n"
+	printf "  },\n"
+	printf "  \"baseline_pr1\": {\n"
+	printf "    \"BenchmarkMatMul64\": {\"ns_op\": 153070, \"allocs_op\": 5},\n"
+	printf "    \"BenchmarkMatMulAT64\": {\"ns_op\": 153058, \"allocs_op\": 5},\n"
+	printf "    \"BenchmarkMatMulBT64\": {\"ns_op\": 108739, \"allocs_op\": 5},\n"
+	printf "    \"BenchmarkTrainBatchMLP\": {\"ns_op\": 325803, \"allocs_op\": 37},\n"
+	printf "    \"BenchmarkConv2DForward\": {\"ns_op\": 1032506, \"allocs_op\": 11},\n"
+	printf "    \"BenchmarkConv2DBackward\": {\"ns_op\": 1696018, \"allocs_op\": 3},\n"
+	printf "    \"BenchmarkLocalTrain\": {\"ns_op\": 802769, \"allocs_op\": 361}\n"
 	printf "  },\n"
 	printf "  \"current\": {\n"
 	for (i = 0; i < n; i++) {
