@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"ecofl/internal/data"
 	"ecofl/internal/flnet"
@@ -40,6 +41,8 @@ func main() {
 	datasetSize := flag.Int("dataset-size", 4000, "synthetic dataset size")
 	quantize := flag.Bool("quantize", false, "push int8-quantized updates (8x smaller uplink)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace (chrome://tracing) of the pipeline here on exit")
+	telemetry := flag.Bool("telemetry", false, "ship metrics and trace spans to the server (piggybacked on pushes)")
+	telemetryEvery := flag.Duration("telemetry-every", 5*time.Second, "background telemetry flush interval (0 = piggyback only)")
 	flag.Parse()
 
 	if *id < 0 || *id >= *of {
@@ -64,9 +67,13 @@ func main() {
 		log.Fatal(err)
 	}
 	var trace *obs.Trace
-	if *traceOut != "" {
+	if *traceOut != "" || *telemetry {
+		// Telemetry ships the same spans the local trace export records, so
+		// enabling either turns the recorder on.
 		trace = obs.NewWall()
 		pipe.SetTrace(trace)
+	}
+	if *traceOut != "" {
 		defer func() {
 			if err := trace.WriteChromeTraceFile(*traceOut); err != nil {
 				log.Printf("ecofl-portal %d: trace export: %v", *id, err)
@@ -84,6 +91,11 @@ func main() {
 		log.Fatal(err)
 	}
 	defer client.Close()
+	if *telemetry {
+		stop := client.EnableTelemetry(nil, trace, "ecofl-portal", *telemetryEvery)
+		defer stop()
+		log.Printf("ecofl-portal %d: telemetry enabled (flush every %v)", *id, *telemetryEvery)
+	}
 
 	w, version, err := client.Pull()
 	if err != nil {

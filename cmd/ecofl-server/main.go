@@ -24,13 +24,18 @@ import (
 	"ecofl/internal/nn"
 )
 
-// metricsMux builds the observability endpoint: Prometheus exposition at
-// /metrics, a liveness probe at /healthz, and the standard pprof handlers
-// under /debug/pprof/ (registered explicitly — the server deliberately does
-// not use http.DefaultServeMux).
-func metricsMux() *http.ServeMux {
+// metricsMux builds the observability endpoint: Prometheus exposition of the
+// server's own registry at /metrics and of the federated per-node views at
+// /fleet, the live dashboard at /dash with its /api/series JSON feed, a
+// liveness probe at /healthz, and the standard pprof handlers under
+// /debug/pprof/ (registered explicitly — the server deliberately does not
+// use http.DefaultServeMux).
+func metricsMux(sp *metrics.Sampler, fleet *flnet.Fleet) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", metrics.Handler())
+	mux.Handle("/fleet", fleet.Registry().Handler())
+	mux.Handle("/dash", metrics.DashHandler())
+	mux.Handle("/api/series", sp.SeriesHandler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -42,6 +47,17 @@ func metricsMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
+
+// Periodic evaluation results as gauges, so the dashboard's accuracy
+// sparkline and any scrape see the training make progress.
+var (
+	evalAccuracy = metrics.GetGauge("ecofl_server_eval_accuracy",
+		"held-out test accuracy of the current global model")
+	modelVersion = metrics.GetGauge("ecofl_server_model_version",
+		"global model version at the last evaluation")
+	totalPushes = metrics.GetGauge("ecofl_server_pushes",
+		"accepted pushes at the last evaluation")
+)
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9000", "listen address")
@@ -56,6 +72,10 @@ func main() {
 	duration := flag.Duration("duration", 60*time.Second, "how long to serve")
 	evalEvery := flag.Duration("eval-every", 5*time.Second, "evaluation period")
 	checkpoint := flag.String("checkpoint", "", "write the final model here (optional)")
+	sampleEvery := flag.Duration("sample-every", 2*time.Second, "time-series sampling period for /dash")
+	sampleWindow := flag.Int("sample-window", 900, "time-series points kept per metric")
+	stragglerThreshold := flag.Float64("straggler-threshold", 0, "relative push-interval deviation flagging a straggler (0 = default 0.25)")
+	fleetTrace := flag.String("fleet-trace", "", "write the merged fleet Chrome trace here on exit (optional)")
 	flag.Parse()
 
 	proto := nn.NewMLP(rand.New(rand.NewSource(*modelSeed)), *dim, *hidden, *classes)
@@ -69,8 +89,29 @@ func main() {
 	}
 	server := flnet.NewServer(ln, proto.FlatWeights(), *alpha)
 	defer server.Close()
+	fleet := server.Fleet()
+	fleet.Straggler().SetThreshold(*stragglerThreshold, 0)
+	// The server's own lane in the merged fleet trace. Portals own the
+	// non-negative pids (pid = client id), so the server takes -1.
+	fleet.Trace().SetProcessName(-1, "ecofl-server")
+	if *fleetTrace != "" {
+		defer func() {
+			if err := fleet.Trace().WriteChromeTraceFile(*fleetTrace); err != nil {
+				log.Printf("ecofl-server: fleet trace export: %v", err)
+				return
+			}
+			log.Printf("ecofl-server: wrote %d fleet trace events to %s (load in chrome://tracing)",
+				fleet.Trace().Len(), *fleetTrace)
+		}()
+	}
 	log.Printf("ecofl-server: serving on %s (α=%.2f, model %d→%d→%d)",
 		server.Addr(), *alpha, *dim, *hidden, *classes)
+
+	// History for the dashboard: sample the server's own registry plus the
+	// federated per-node views.
+	sampler := metrics.NewSampler(*sampleWindow, metrics.Default, fleet.Registry())
+	stopSampler := sampler.Start(*sampleEvery)
+	defer stopSampler()
 
 	if *metricsListen != "" {
 		mln, err := net.Listen("tcp", *metricsListen)
@@ -78,8 +119,9 @@ func main() {
 			log.Fatalf("metrics listener: %v", err)
 		}
 		defer mln.Close()
-		go http.Serve(mln, metricsMux())
-		log.Printf("ecofl-server: metrics on http://%s/metrics", mln.Addr())
+		go http.Serve(mln, metricsMux(sampler, fleet))
+		log.Printf("ecofl-server: metrics on http://%s/metrics, dashboard on http://%s/dash",
+			mln.Addr(), mln.Addr())
 	}
 
 	// Evaluate on a ticker but stop exactly at the deadline: a plain
@@ -93,10 +135,16 @@ serveLoop:
 		case <-deadline.C:
 			break serveLoop
 		case <-ticker.C:
+			sp := fleet.Trace().Begin(-1, 0, "eval", "server")
 			w, version := server.Snapshot()
 			proto.SetFlatWeights(w)
+			acc := proto.Accuracy(tx, ty)
+			sp.EndArgs(map[string]float64{"version": float64(version), "accuracy": acc})
+			evalAccuracy.Set(acc)
+			modelVersion.Set(float64(version))
+			totalPushes.Set(float64(server.Pushes()))
 			log.Printf("ecofl-server: v%d (%d pushes), test accuracy %.1f%%",
-				version, server.Pushes(), proto.Accuracy(tx, ty)*100)
+				version, server.Pushes(), acc*100)
 		}
 	}
 	w, version := server.Snapshot()

@@ -15,6 +15,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"ecofl/internal/adaptive"
 
@@ -80,28 +81,28 @@ func configureParallelism() {
 	tensor.SetParallelism(n)
 }
 
-// extractMetricsJSON strips the global --metrics-json flag (valid before or
-// after the subcommand, as --metrics-json=path or --metrics-json path) from
-// args and returns the remaining arguments plus the requested output path
-// ("" when absent, "-" for stdout). A global pre-scan keeps the flag working
-// uniformly across every subcommand's FlagSet.
-func extractMetricsJSON(args []string) ([]string, string) {
+// extractGlobalFlag strips one global flag (valid before or after the
+// subcommand, as --name=value or --name value) from args and returns the
+// remaining arguments plus the flag's value ("" when absent). A global
+// pre-scan keeps these flags working uniformly across every subcommand's
+// FlagSet.
+func extractGlobalFlag(args []string, name string) ([]string, string) {
 	var rest []string
-	var path string
+	var value string
 	for i := 0; i < len(args); i++ {
 		a := args[i]
 		trimmed := strings.TrimLeft(a, "-")
 		switch {
-		case strings.HasPrefix(trimmed, "metrics-json=") && strings.HasPrefix(a, "-"):
-			path = strings.TrimPrefix(trimmed, "metrics-json=")
-		case trimmed == "metrics-json" && strings.HasPrefix(a, "-") && i+1 < len(args):
-			path = args[i+1]
+		case strings.HasPrefix(trimmed, name+"=") && strings.HasPrefix(a, "-"):
+			value = strings.TrimPrefix(trimmed, name+"=")
+		case trimmed == name && strings.HasPrefix(a, "-") && i+1 < len(args):
+			value = args[i+1]
 			i++
 		default:
 			rest = append(rest, a)
 		}
 	}
-	return rest, path
+	return rest, value
 }
 
 // dumpMetricsJSON writes the Default registry snapshot as JSON to path
@@ -124,12 +125,41 @@ func dumpMetricsJSON(path string) error {
 	return werr
 }
 
+// dumpSeriesJSON stops the sampler, takes one final sample, and writes the
+// recorded time series ("-" means stdout).
+func dumpSeriesJSON(sp *metrics.Sampler, stop func(), path string) error {
+	stop()
+	sp.Sample() // capture the end-of-run state even for sub-interval runs
+	if path == "-" {
+		return sp.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := sp.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		fmt.Fprintf(os.Stderr, "wrote metrics time series to %s\n", path)
+	}
+	return werr
+}
+
 func main() {
 	configureParallelism()
-	args, metricsJSON := extractMetricsJSON(os.Args[1:])
+	args, metricsJSON := extractGlobalFlag(os.Args[1:], "metrics-json")
+	args, seriesJSON := extractGlobalFlag(args, "series-json")
 	if len(args) < 1 {
 		usage()
 		os.Exit(2)
+	}
+	var sampler *metrics.Sampler
+	var stopSampler func()
+	if seriesJSON != "" {
+		sampler = metrics.NewSampler(4096)
+		stopSampler = sampler.Start(250 * time.Millisecond)
 	}
 	var err error
 	switch args[0] {
@@ -156,6 +186,11 @@ func main() {
 			err = merr
 		}
 	}
+	if seriesJSON != "" {
+		if serr := dumpSeriesJSON(sampler, stopSampler, seriesJSON); err == nil {
+			err = serr
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ecofl:", err)
 		os.Exit(1)
@@ -175,7 +210,8 @@ commands:
   all        [--scale quick|full]
 
 global flags (any command):
-  --metrics-json <path>   dump an end-of-run metrics snapshot as JSON (- for stdout)`)
+  --metrics-json <path>   dump an end-of-run metrics snapshot as JSON (- for stdout)
+  --series-json <path>    sample metrics during the run and dump the time series as JSON`)
 }
 
 func scaleByName(name string) experiments.Scale {

@@ -34,6 +34,17 @@ type Monitor struct {
 // Report records a measurement for stage s and reports whether the
 // deviation from history exceeds the threshold.
 func (m *Monitor) Report(s int, execTime float64) bool {
+	dev, _ := m.Check(s, execTime)
+	return dev > m.Threshold
+}
+
+// Check is the deviation rule itself, shared with the fleet straggler
+// detector (internal/flnet): it records a measurement for key s, folds it
+// into the EMA history, and returns the relative deviation |cur−hist|/hist
+// from the pre-update history plus whether the measurement was slower than
+// history (deviating *fast* is not straggling). The first measurement for a
+// key seeds the history and reports zero deviation.
+func (m *Monitor) Check(s int, execTime float64) (dev float64, slower bool) {
 	if m.Threshold == 0 {
 		m.Threshold = 0.25
 	}
@@ -45,10 +56,20 @@ func (m *Monitor) Report(s int, execTime float64) bool {
 	}
 	if m.history[s] == 0 {
 		m.history[s] = execTime
-		return false
+		return 0, false
 	}
-	dev := math.Abs(execTime-m.history[s]) / m.history[s]
+	dev = math.Abs(execTime-m.history[s]) / m.history[s]
+	slower = execTime > m.history[s]
 	m.history[s] = (1-m.Alpha)*m.history[s] + m.Alpha*execTime
+	return dev, slower
+}
+
+// Exceeds reports whether a deviation returned by Check crosses the
+// monitor's (defaulted) threshold.
+func (m *Monitor) Exceeds(dev float64) bool {
+	if m.Threshold == 0 {
+		m.Threshold = 0.25
+	}
 	return dev > m.Threshold
 }
 

@@ -28,6 +28,32 @@ func TestMonitorDetectsDeviation(t *testing.T) {
 	}
 }
 
+func TestMonitorCheckDirectionAndDeviation(t *testing.T) {
+	var m Monitor
+	if dev, slower := m.Check(0, 1.0); dev != 0 || slower {
+		t.Fatalf("first check seeds history, got dev=%v slower=%v", dev, slower)
+	}
+	// Slower than history: positive deviation, slower=true.
+	dev, slower := m.Check(0, 2.0)
+	if !slower || dev < 0.99 || dev > 1.01 {
+		t.Fatalf("2.0 vs history 1.0: dev=%v slower=%v, want ~1.0/true", dev, slower)
+	}
+	if !m.Exceeds(dev) {
+		t.Fatal("100% deviation must exceed the default threshold")
+	}
+	// Faster than the (now EMA-raised) history: deviating but not slower.
+	dev, slower = m.Check(0, 0.1)
+	if slower {
+		t.Fatal("0.1 against raised history must not read as slower")
+	}
+	if !m.Exceeds(dev) {
+		t.Fatalf("large fast deviation %v must still exceed the threshold", dev)
+	}
+	if m.Exceeds(0.1) {
+		t.Fatal("10% is below the default 25% threshold")
+	}
+}
+
 func TestMonitorPerStageIsolation(t *testing.T) {
 	var m Monitor
 	m.Report(0, 1.0)

@@ -35,6 +35,14 @@ type Client struct {
 	// latency is BaseDelay × CollabDegree (§6.1).
 	BaseDelay    float64
 	CollabDegree float64
+	// MeasuredLatency, when > 0, overrides the configured
+	// BaseDelay × CollabDegree model with a latency actually measured by
+	// fleet telemetry (the server-side inter-push interval, internal/flnet).
+	// Every grouping decision flows through Latency(), so setting this one
+	// field switches the whole grouping machinery — Eq. 4 distances, group
+	// centers, round times, Algorithm 1 regrouping — from configured
+	// constants to measurements.
+	MeasuredLatency float64
 	// Dropped marks a client temporarily excluded by Algorithm 1.
 	Dropped bool
 	// LastLoss is the client's most recent mean training loss — the
@@ -49,9 +57,15 @@ type Client struct {
 	}
 }
 
-// Latency returns the client's current response latency (§6.1: original
-// delay × collaborative degree).
-func (c *Client) Latency() float64 { return c.BaseDelay * c.CollabDegree }
+// Latency returns the client's current response latency: the telemetry
+// measurement when one is present, otherwise the §6.1 model (original delay
+// × collaborative degree).
+func (c *Client) Latency() float64 {
+	if c.MeasuredLatency > 0 {
+		return c.MeasuredLatency
+	}
+	return c.BaseDelay * c.CollabDegree
+}
 
 // Distribution returns the client's label distribution π_n.
 func (c *Client) Distribution() stats.Distribution { return c.dist }
@@ -223,6 +237,22 @@ func NewPopulationWithProto(rng *rand.Rand, shards []*data.Subset, testX *tensor
 		p.Clients = append(p.Clients, c)
 	}
 	return p
+}
+
+// ApplyMeasuredLatencies installs telemetry-measured per-client round
+// latencies (keyed by client ID, e.g. StragglerDetector.MeasuredLatencies)
+// as the fleet's effective latencies, returning how many clients matched.
+// Non-positive measurements are ignored; clients without a measurement keep
+// the configured model.
+func (p *Population) ApplyMeasuredLatencies(lat map[int]float64) int {
+	applied := 0
+	for _, c := range p.Clients {
+		if l, ok := lat[c.ID]; ok && l > 0 {
+			c.MeasuredLatency = l
+			applied++
+		}
+	}
+	return applied
 }
 
 // GlobalInit returns the initial global weight vector.

@@ -68,6 +68,70 @@ func TestClientLatencyModel(t *testing.T) {
 	}
 }
 
+// TestMeasuredLatencyDrivesGrouping checks the telemetry hook: measured
+// per-client latencies installed via ApplyMeasuredLatencies replace the
+// configured BaseDelay × CollabDegree model everywhere grouping looks.
+func TestMeasuredLatencyDrivesGrouping(t *testing.T) {
+	pop := testPopulation(9, 16, fastConfig())
+	meas := map[int]float64{}
+	for _, c := range pop.Clients {
+		meas[c.ID] = 30 // uniform fleet...
+	}
+	outlier := pop.Clients[0]
+	meas[outlier.ID] = 300 // ...except one measured straggler
+	if n := pop.ApplyMeasuredLatencies(meas); n != len(pop.Clients) {
+		t.Fatalf("applied %d measurements, want %d", n, len(pop.Clients))
+	}
+	if outlier.Latency() != 300 {
+		t.Fatalf("measured latency must win: got %v", outlier.Latency())
+	}
+
+	gr := &Grouper{Lambda: 0, RT: 15, NumClasses: pop.TestClasses()}
+	groups := gr.InitialGrouping(rand.New(rand.NewSource(3)), pop.Clients, 3)
+	for _, g := range groups {
+		hasOutlier, others := false, 0
+		for _, m := range g.Members {
+			if m == outlier {
+				hasOutlier = true
+			} else {
+				others++
+			}
+		}
+		if hasOutlier && others > 0 {
+			t.Fatal("a 10× measured straggler must not share a group with the uniform fleet")
+		}
+	}
+
+	// Algorithm 1 regrouping reacts to a measurement change mid-run: a
+	// member whose measured latency spikes beyond RT gets moved or dropped.
+	uniform := groups[0]
+	for _, g := range groups {
+		if len(g.Members) > len(uniform.Members) {
+			uniform = g
+		}
+	}
+	victim := uniform.Members[0]
+	victim.MeasuredLatency = 500
+	if gr.CheckAndRegroup(uniform, groups) == 0 {
+		t.Fatal("regrouping must react to a measured latency spike")
+	}
+	for _, m := range uniform.Members {
+		if m == victim {
+			t.Fatal("spiked client must leave its group")
+		}
+	}
+
+	// Clearing the measurement falls back to the configured model, and
+	// invalid/unknown measurements are ignored.
+	victim.MeasuredLatency = 0
+	if victim.Latency() != victim.BaseDelay*victim.CollabDegree {
+		t.Fatalf("cleared measurement must restore the model: %v", victim.Latency())
+	}
+	if n := pop.ApplyMeasuredLatencies(map[int]float64{pop.Clients[1].ID: -1, 1 << 20: 5}); n != 0 {
+		t.Fatalf("invalid measurements applied: %d", n)
+	}
+}
+
 func TestPopulationConstruction(t *testing.T) {
 	pop := testPopulation(7, 20, fastConfig())
 	if len(pop.Clients) != 20 {

@@ -12,6 +12,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -20,14 +21,17 @@ import (
 )
 
 // request is the client→server message. A push carries either raw Weights
-// or a Quantized payload (mutually exclusive).
+// or a Quantized payload (mutually exclusive). Telemetry piggybacks on
+// pushes when the client has it enabled, and is the sole payload of a
+// standalone "telemetry" request.
 type request struct {
-	Kind        string // "pull" or "push"
+	Kind        string // "pull", "push" or "telemetry"
 	ClientID    int
 	Weights     []float64
 	Quant       *Quantized
 	NumSamples  int
 	BaseVersion int
+	Telemetry   *TelemetrySnapshot
 }
 
 // reply is the server→client message.
@@ -44,8 +48,9 @@ type Server struct {
 	Alpha        float64
 	StalenessExp float64
 
-	ln net.Listener
-	wg sync.WaitGroup
+	ln    net.Listener
+	wg    sync.WaitGroup
+	fleet *Fleet
 
 	mu      sync.Mutex
 	weights []float64
@@ -60,6 +65,7 @@ func NewServer(ln net.Listener, init []float64, alpha float64) *Server {
 		Alpha:        alpha,
 		StalenessExp: 1.0,
 		ln:           ln,
+		fleet:        newFleet(),
 		weights:      append([]float64(nil), init...),
 	}
 	s.wg.Add(1)
@@ -83,6 +89,10 @@ func (s *Server) Snapshot() ([]float64, int) {
 	defer s.mu.Unlock()
 	return append([]float64(nil), s.weights...), s.version
 }
+
+// Fleet returns the server's telemetry aggregator: node-labeled metric
+// views, the merged fleet trace, and the straggler detector.
+func (s *Server) Fleet() *Fleet { return s.fleet }
 
 // Pushes returns the number of accepted updates.
 func (s *Server) Pushes() int {
@@ -114,6 +124,12 @@ func (s *Server) handle(conn net.Conn) {
 	for {
 		var req request
 		if err := dec.Decode(&req); err != nil {
+			if err != io.EOF {
+				// Anything but a clean close is a malformed or truncated
+				// stream — worth a counter so a misbehaving (or merely
+				// version-skewed) portal shows up on the dashboard.
+				srvDecodeErrors.Inc()
+			}
 			return // connection done
 		}
 		t0 := time.Now()
@@ -133,11 +149,20 @@ func (s *Server) handle(conn net.Conn) {
 				srvPushErrors.Inc()
 				rep.Err = err.Error()
 			} else {
+				s.fleet.observePush(req.ClientID)
 				rep.Weights, rep.Version = s.Snapshot()
+			}
+		case "telemetry":
+			srvRequestsTelemetry.Inc()
+			if req.Telemetry == nil {
+				rep.Err = "flnet: telemetry request carries no snapshot"
 			}
 		default:
 			srvRequestsBad.Inc()
 			rep.Err = fmt.Sprintf("flnet: unknown request kind %q", req.Kind)
+		}
+		if req.Telemetry != nil {
+			s.fleet.ingest(req.Telemetry)
 		}
 		if err := enc.Encode(&rep); err != nil {
 			return
@@ -175,6 +200,7 @@ type Client struct {
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 	mu   sync.Mutex
+	tel  *telemetryState // nil until EnableTelemetry
 }
 
 // Dial connects a portal to the server.
@@ -193,10 +219,16 @@ func (c *Client) Close() error { return c.conn.Close() }
 func (c *Client) roundTrip(req *request) (*reply, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if req.Kind == "pull" {
+	switch req.Kind {
+	case "pull":
 		cliRequestsPull.Inc()
-	} else {
+	case "telemetry":
+		cliRequestsTelemetry.Inc()
+	default:
 		cliRequestsPush.Inc()
+	}
+	if c.tel != nil && req.Telemetry == nil && req.Kind != "pull" {
+		req.Telemetry = c.telemetrySnapshotLocked()
 	}
 	t0 := time.Now()
 	defer func() { cliRequestSeconds.Observe(time.Since(t0).Seconds()) }()

@@ -1,13 +1,58 @@
 package flnet
 
 import (
+	"bytes"
+	"encoding/gob"
 	"math"
 	"testing"
+
+	"ecofl/internal/obs"
 )
 
 // FuzzQuantizeRoundTrip checks the quantization error bound on arbitrary
 // 4-element vectors (runs the seed corpus under plain `go test`; use
 // `go test -fuzz=FuzzQuantizeRoundTrip` for continuous fuzzing).
+// FuzzRequestDecode throws arbitrary byte streams at the server-side request
+// decode + telemetry-ingest path: whatever survives the gob decoder must be
+// ingestible without panicking, no matter what metric names, label lists, or
+// span batches the bytes claim to carry.
+func FuzzRequestDecode(f *testing.F) {
+	seed := func(req *request) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(req); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(&request{Kind: "telemetry", ClientID: 1, Telemetry: &TelemetrySnapshot{
+		NodeID: 1, Proc: "portal", NodeNow: 1.5,
+		Metrics: []MetricPoint{
+			{Family: "ecofl_x_total", Kind: "counter", Value: 3},
+			{Family: "ecofl_step_seconds", Labels: []string{"stage", "0"},
+				Kind: "histogram", Count: 2, Sum: 0.2, P50: 0.1, P99: 0.19},
+		},
+		Spans: []obs.Event{{Name: "train", Cat: "portal", Start: 0.5, Dur: 0.25}},
+	}}))
+	f.Add(seed(&request{Kind: "telemetry", ClientID: -7, Telemetry: &TelemetrySnapshot{
+		NodeID: -7, NodeNow: math.Inf(1),
+		Metrics: []MetricPoint{{Family: `bad{family`, Labels: []string{"odd"}, Kind: "gauge"}},
+	}}))
+	f.Add(seed(&request{Kind: "push", Weights: []float64{1, 2}, NumSamples: 3}))
+	f.Add([]byte("\x7fthis is not a gob stream"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var req request
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&req); err != nil {
+			return // malformed stream: the server counts it and drops the conn
+		}
+		if req.Telemetry != nil {
+			fleet := newFleet()
+			fleet.ingest(req.Telemetry)
+			fleet.observePush(req.ClientID)
+		}
+	})
+}
+
 func FuzzQuantizeRoundTrip(f *testing.F) {
 	f.Add(0.0, 1.0, -1.0, 2.5)
 	f.Add(3.0, 3.0, 3.0, 3.0)

@@ -18,6 +18,10 @@ var (
 		"requests served by kind", "kind", "push")
 	srvRequestsBad = metrics.GetCounter("ecofl_flnet_server_requests_total",
 		"requests served by kind", "kind", "unknown")
+	srvRequestsTelemetry = metrics.GetCounter("ecofl_flnet_server_requests_total",
+		"requests served by kind", "kind", "telemetry")
+	srvDecodeErrors = metrics.GetCounter("ecofl_flnet_server_decode_errors_total",
+		"request streams that failed to decode (malformed or truncated, clean EOF excluded)")
 	srvPushErrors = metrics.GetCounter("ecofl_flnet_server_push_errors_total",
 		"pushes rejected (bad payload or dimension mismatch)")
 	srvPayloadRaw = metrics.GetCounter("ecofl_flnet_server_push_payload_total",
@@ -35,6 +39,8 @@ var (
 		"round trips issued by kind", "kind", "pull")
 	cliRequestsPush = metrics.GetCounter("ecofl_flnet_client_requests_total",
 		"round trips issued by kind", "kind", "push")
+	cliRequestsTelemetry = metrics.GetCounter("ecofl_flnet_client_requests_total",
+		"round trips issued by kind", "kind", "telemetry")
 	cliBytesIn = metrics.GetCounter("ecofl_flnet_client_bytes_read_total",
 		"bytes read from the server connection")
 	cliBytesOut = metrics.GetCounter("ecofl_flnet_client_bytes_written_total",

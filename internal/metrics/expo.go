@@ -8,7 +8,64 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 )
+
+// escapeLabelValue escapes a label value per the Prometheus text exposition
+// format: backslash, double-quote, and line feed become \\, \" and \n; every
+// other byte (including tabs and non-ASCII UTF-8) passes through verbatim.
+// Go's %q is NOT equivalent — it escapes tabs and non-printable runes with
+// Go-only sequences that Prometheus parsers reject or mis-read.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// UnescapeLabelValue reverses escapeLabelValue — the exposition-format
+// round-trip used by tests and by text-format consumers.
+func UnescapeLabelValue(v string) string {
+	if !strings.Contains(v, `\`) {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v))
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' && i+1 < len(v) {
+			switch v[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case '"':
+				b.WriteByte('"')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(v[i])
+	}
+	return b.String()
+}
 
 // formatValue renders a float the way the Prometheus text format expects.
 func formatValue(v float64) string {

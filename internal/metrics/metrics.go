@@ -124,6 +124,24 @@ func (h *Histogram) Count() int64 {
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts by
+// linear interpolation inside the bucket containing the target rank — the
+// same estimator as PromQL's histogram_quantile. The lower edge of the first
+// bucket is taken as 0 (the usual case for latency histograms); observations
+// landing in the +Inf bucket clamp the estimate to the highest finite bound.
+// It returns NaN when the histogram is empty or q is outside [0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	buckets := make([]BucketSample, 0, len(h.bounds)+1)
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		buckets = append(buckets, BucketSample{UpperBound: b, Cumulative: cum})
+	}
+	cum += h.inf.Load()
+	buckets = append(buckets, BucketSample{UpperBound: math.Inf(1), Cumulative: cum})
+	return QuantileFromBuckets(buckets, q)
+}
+
 // Bounds returns the histogram's (non-+Inf) upper bounds.
 func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
 
@@ -171,13 +189,13 @@ func (m *metric) fullName(extraK, extraV string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", m.labels[i], m.labels[i+1])
+		fmt.Fprintf(&b, "%s=\"%s\"", m.labels[i], escapeLabelValue(m.labels[i+1]))
 	}
 	if extraK != "" {
 		if len(m.labels) > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", extraK, extraV)
+		fmt.Fprintf(&b, "%s=\"%s\"", extraK, escapeLabelValue(extraV))
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -297,6 +315,10 @@ type BucketSample struct {
 type Sample struct {
 	Name   string // full name including labels
 	Family string
+	// Labels are the alternating k, v pairs in canonical (key-sorted) order —
+	// what telemetry federation needs to re-register a node-labeled view
+	// without parsing the rendered Name.
+	Labels []string
 	Kind   Kind
 	Help   string
 	// Value carries the counter or gauge value (counters as float64 for
@@ -321,7 +343,8 @@ func (r *Registry) Snapshot() []Sample {
 
 	out := make([]Sample, 0, len(ms))
 	for i, m := range ms {
-		s := Sample{Name: keys[i], Family: m.family, Kind: m.kind, Help: m.help}
+		s := Sample{Name: keys[i], Family: m.family, Kind: m.kind, Help: m.help,
+			Labels: append([]string(nil), m.labels...)}
 		switch m.kind {
 		case KindCounter:
 			s.Value = float64(m.counter.Value())

@@ -200,6 +200,68 @@ func TestConcurrentUpdates(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ecofl_q_seconds", "", []float64{1, 2, 4})
+	// One observation per finite bucket: the CDF crosses 0.5 halfway through
+	// the middle bucket → linear interpolation gives 1.5.
+	for _, v := range []float64{0.5, 1.5, 3} {
+		h.Observe(v)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("p50 = %v, want 1.5", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("p0 = %v, want 0 (lower edge of first bucket)", got)
+	}
+	if got := h.Quantile(1); got != 4 {
+		t.Fatalf("p100 = %v, want 4 (upper edge of last occupied bucket)", got)
+	}
+	// Out-of-range q and the empty histogram are NaN.
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Fatalf("Quantile(%v) = %v, want NaN", q, got)
+		}
+	}
+	if got := r.Histogram("ecofl_q_empty", "", []float64{1}).Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty histogram p50 = %v, want NaN", got)
+	}
+}
+
+func TestHistogramQuantileUniformBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ecofl_qu_seconds", "", []float64{1, 10})
+	// 100 observations all inside (0, 1]: interpolation treats them as
+	// uniformly spread, so pXX ≈ XX/100.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	for _, tc := range []struct{ q, want float64 }{{0.25, 0.25}, {0.5, 0.5}, {0.99, 0.99}} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramQuantileInfBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ecofl_qinf_seconds", "", []float64{1, 2})
+	// Everything beyond the last finite bound: the estimate clamps to it.
+	h.Observe(50)
+	h.Observe(60)
+	if got := h.Quantile(0.5); got != 2 {
+		t.Fatalf("p50 = %v, want clamp to highest finite bound 2", got)
+	}
+	// The snapshot-based estimator agrees with the live one.
+	s, ok := r.Get("ecofl_qinf_seconds")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if got := QuantileFromBuckets(s.Buckets, 0.5); got != h.Quantile(0.5) {
+		t.Fatalf("QuantileFromBuckets = %v, Histogram.Quantile = %v", got, h.Quantile(0.5))
+	}
+}
+
 func TestExpBuckets(t *testing.T) {
 	got := ExpBuckets(1, 10, 4)
 	want := []float64{1, 10, 100, 1000}

@@ -1,0 +1,51 @@
+package obs
+
+// Cross-node trace federation: a fleet server merges span batches shipped by
+// remote nodes into one Trace, one process lane (pid) per node, with a
+// clock-offset shift so all spans land on the server's clock. The result
+// exports as a single fleet-wide Chrome trace.
+
+// EventsFrom returns a copy of the events recorded at index ≥ from — the
+// incremental read a telemetry flusher uses to ship only spans it has not
+// sent yet (pair with Len to track the high-water mark). A from beyond the
+// current length (or a nil trace) yields nil.
+func (t *Trace) EventsFrom(from int) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(t.events) {
+		return nil
+	}
+	return append([]Event(nil), t.events[from:]...)
+}
+
+// ImportEvents appends externally recorded events, rewriting every event's
+// pid to the given node lane and shifting its timestamps by offset seconds —
+// the receiver-side half of cross-node merging. offset aligns the sender's
+// clock with this trace's clock: offset = t.Now() − senderNow, computed when
+// the batch arrives (transit time is attributed to the offset, which is the
+// best a one-way exchange can do). Tids and args pass through unchanged.
+func (t *Trace) ImportEvents(pid int, offset float64, evs []Event) {
+	if t == nil || len(evs) == 0 {
+		return
+	}
+	t.mu.Lock()
+	for _, e := range evs {
+		e.PID = pid
+		e.Start += offset
+		t.events = append(t.events, e)
+	}
+	t.mu.Unlock()
+}
+
+// ClockOffset returns the shift that maps a remote clock reading onto this
+// trace's clock, given the remote's Now sampled at send time and read here at
+// receive time: remoteStart + offset ≈ local time of the same instant.
+func (t *Trace) ClockOffset(remoteNow float64) float64 {
+	return t.Now() - remoteNow
+}

@@ -1,35 +1,46 @@
 #!/usr/bin/env bash
-# Runs the tensor/nn/fl/obs benchmarks and writes BENCH_pr2.json mapping each
-# benchmark to ns/op and allocs/op, alongside the seed baseline and the PR1
-# numbers captured on the same host. The obs benchmarks compare an
-# uninstrumented TrainBatch hot loop (BenchmarkTrainBatchBare) against the
-# same loop through a nil *obs.Trace (BenchmarkTrainBatchNopRecorder): their
-# ns/op should be statistically indistinguishable, proving the disabled
-# recorder costs ~0.
+# Runs the tensor/nn/fl/obs/metrics/flnet benchmarks and writes
+# BENCH_pr3.json mapping each benchmark to ns/op and allocs/op, alongside the
+# seed baseline and the PR1 numbers captured on the same host (BENCH_pr1.json
+# and BENCH_pr2.json in the repo root hold the full earlier captures).
+#
+# Telemetry overhead is read off two comparisons:
+#   - BenchmarkPushRaw vs BenchmarkPushRawWithTelemetry: the true piggyback
+#     cost per push (snapshot build + extra gob payload) — small next to a
+#     100k-weight payload.
+#   - BenchmarkSamplerSample / BenchmarkSeriesAppend: the periodic history
+#     cost on the server — a sample every 2 s over a fleet-sized registry,
+#     nothing on any hot path. The idle path (telemetry disabled) costs one
+#     nil check per roundTrip, i.e. ~0, like the nil *obs.Trace recorder
+#     (BenchmarkTrainBatchBare vs BenchmarkTrainBatchNopRecorder).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_pr2.json}
+out=${1:-BENCH_pr3.json}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' -bench . -benchmem -benchtime 200ms \
 	./internal/tensor/... ./internal/nn/... ./internal/fl/... \
-	./internal/obs/... | tee "$raw"
+	./internal/obs/... ./internal/metrics/... ./internal/flnet/... | tee "$raw"
 
 awk '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
-	ns[name] = $3
-	allocs[name] = $7
+	# Benchmarks using b.SetBytes add an MB/s column, so locate values by
+	# their unit field instead of a fixed position.
+	for (i = 2; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns[name] = $i
+		if ($(i + 1) == "allocs/op") allocs[name] = $i
+	}
 	order[n++] = name
 }
 END {
 	printf "{\n"
 	printf "  \"generated_by\": \"scripts/bench.sh\",\n"
 	printf "  \"units\": {\"ns_op\": \"ns/op\", \"allocs_op\": \"allocs/op\"},\n"
-	printf "  \"notes\": \"MatMul* allocs_op is 5 vs seed 4: +1 fixed heap closure for the worker-pool dispatch (documented in internal/tensor/alloc_test.go, guarded there). Compare BenchmarkTrainBatchBare vs BenchmarkTrainBatchNopRecorder for the nop-recorder overhead.\",\n"
+	printf "  \"notes\": \"Telemetry overhead: compare BenchmarkPushRaw vs BenchmarkPushRawWithTelemetry (piggyback cost per push) and see BenchmarkSamplerSample for the 2s-periodic history cost; the disabled path is one nil check per round trip. Full earlier captures live in BENCH_pr1.json / BENCH_pr2.json.\",\n"
 	printf "  \"baseline_seed\": {\n"
 	printf "    \"BenchmarkMatMul64\": {\"ns_op\": 181628, \"allocs_op\": 4},\n"
 	printf "    \"BenchmarkMatMulAT64\": {\"ns_op\": 142610, \"allocs_op\": 4},\n"

@@ -1,11 +1,19 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus the race-detector pass for the concurrent packages.
+# Tier-1 gate: formatting, vet, build, tests, plus the race-detector pass
+# for the concurrent packages.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/tensor/... ./internal/fl/... \
-	./internal/metrics/... ./internal/obs/... \
+	./internal/metrics/... ./internal/obs/... ./internal/adaptive/... \
 	./internal/flnet/... ./internal/pipeline/runtime/...
