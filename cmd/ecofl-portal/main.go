@@ -43,6 +43,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace (chrome://tracing) of the pipeline here on exit")
 	telemetry := flag.Bool("telemetry", false, "ship metrics and trace spans to the server (piggybacked on pushes)")
 	telemetryEvery := flag.Duration("telemetry-every", 5*time.Second, "background telemetry flush interval (0 = piggyback only)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-round-trip deadline (negative disables)")
+	retries := flag.Int("retries", 5, "round-trip retries over fresh connections before giving up (negative disables)")
 	flag.Parse()
 
 	if *id < 0 || *id >= *of {
@@ -86,7 +88,13 @@ func main() {
 	log.Printf("ecofl-portal %d: shard %d samples, %d-stage pipeline, server %s",
 		*id, shard.Len(), pipe.NumStages(), *server)
 
-	client, err := flnet.Dial(*server, *id)
+	// A server bounce or flaky link is survivable: round trips run under a
+	// deadline and retried pushes are deduplicated server-side, so --retries
+	// can be generous without risking a double-applied update.
+	client, err := flnet.DialOptions(*server, *id, flnet.Options{
+		Timeout:    *timeout,
+		MaxRetries: *retries,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -128,5 +136,7 @@ func main() {
 		log.Printf("ecofl-portal %d: round %d/%d, local loss %.4f, global v%d",
 			*id, round, *rounds, loss/float64(n), version)
 	}
-	fmt.Printf("portal %d done after %d rounds (global v%d)\n", *id, *rounds, version)
+	rt, rc := client.Stats()
+	fmt.Printf("portal %d done after %d rounds (global v%d, %d retries, %d reconnects)\n",
+		*id, *rounds, version, rt, rc)
 }

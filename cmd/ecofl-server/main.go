@@ -3,9 +3,13 @@
 // processes over TCP, applying asynchronous staleness-aware aggregation
 // (§5.1). The server periodically evaluates the global model on a held-out
 // synthetic test set derived from --data-seed (the same seed portals use to
-// shard their training data) and can checkpoint the model on exit.
+// shard their training data). With --checkpoint it periodically persists its
+// aggregation state — weights, version, accepted pushes, and the per-client
+// dedup sequence numbers — and resumes from that file on restart, so a crash
+// loses no accepted updates: portals retry in-flight pushes and the restored
+// dedup window applies each exactly once.
 //
-//	ecofl-server --listen 127.0.0.1:9000 --duration 30s
+//	ecofl-server --listen 127.0.0.1:9000 --duration 30s --checkpoint srv.ckpt
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"time"
 
 	"ecofl/internal/data"
@@ -71,7 +76,9 @@ func main() {
 	datasetSize := flag.Int("dataset-size", 4000, "synthetic dataset size")
 	duration := flag.Duration("duration", 60*time.Second, "how long to serve")
 	evalEvery := flag.Duration("eval-every", 5*time.Second, "evaluation period")
-	checkpoint := flag.String("checkpoint", "", "write the final model here (optional)")
+	checkpoint := flag.String("checkpoint", "", "server state checkpoint path: resumed on start when present, rewritten every --checkpoint-every and on exit (crash recovery)")
+	checkpointEvery := flag.Duration("checkpoint-every", 5*time.Second, "periodic checkpoint interval")
+	saveModel := flag.String("save-model", "", "write the final model weights here on exit (optional)")
 	sampleEvery := flag.Duration("sample-every", 2*time.Second, "time-series sampling period for /dash")
 	sampleWindow := flag.Int("sample-window", 900, "time-series points kept per metric")
 	stragglerThreshold := flag.Float64("straggler-threshold", 0, "relative push-interval deviation flagging a straggler (0 = default 0.25)")
@@ -87,8 +94,32 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	server := flnet.NewServer(ln, proto.FlatWeights(), *alpha)
+	opts := flnet.ServerOptions{Alpha: *alpha}
+	if *checkpoint != "" {
+		ck, err := flnet.LoadCheckpoint(*checkpoint)
+		switch {
+		case err == nil:
+			opts.Resume = ck
+			log.Printf("ecofl-server: resuming from %s (v%d, %d pushes, %d clients in dedup window)",
+				*checkpoint, ck.Version, ck.Pushes, len(ck.LastSeq))
+		case os.IsNotExist(err):
+			log.Printf("ecofl-server: no checkpoint at %s yet, cold start", *checkpoint)
+		default:
+			log.Fatalf("ecofl-server: checkpoint: %v", err)
+		}
+	}
+	server, err := flnet.NewServerOpts(ln, proto.FlatWeights(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer server.Close()
+	if *checkpoint != "" {
+		// Periodic checkpointing; the returned stop writes the final flush,
+		// so a graceful exit loses nothing and a crash loses at most one
+		// interval of pushes (their retried deliveries dedup on resume).
+		stop := server.StartCheckpointing(*checkpoint, *checkpointEvery)
+		defer stop()
+	}
 	fleet := server.Fleet()
 	fleet.Straggler().SetThreshold(*stragglerThreshold, 0)
 	// The server's own lane in the merged fleet trace. Portals own the
@@ -149,12 +180,12 @@ serveLoop:
 	}
 	w, version := server.Snapshot()
 	proto.SetFlatWeights(w)
-	fmt.Printf("final: version %d, pushes %d, test accuracy %.2f%%\n",
-		version, server.Pushes(), proto.Accuracy(tx, ty)*100)
-	if *checkpoint != "" {
-		if err := proto.SaveFile(*checkpoint); err != nil {
-			log.Fatalf("checkpoint: %v", err)
+	fmt.Printf("final: version %d, pushes %d, deduped %d, test accuracy %.2f%%\n",
+		version, server.Pushes(), server.Deduped(), proto.Accuracy(tx, ty)*100)
+	if *saveModel != "" {
+		if err := proto.SaveFile(*saveModel); err != nil {
+			log.Fatalf("save-model: %v", err)
 		}
-		log.Printf("ecofl-server: checkpoint written to %s", *checkpoint)
+		log.Printf("ecofl-server: model written to %s", *saveModel)
 	}
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ecofl fl --experiment {fig7|fig8|fig9} [--scale quick|full] [--seed N]
+//	ecofl fl --experiment {fig7|fig8|fig9|dropout} [--scale quick|full] [--seed N]
 //	ecofl pipeline --experiment {fig5|fig10|fig11|fig12|fig13|table2}
 //	ecofl pipeline --show-schedule     # Fig. 3-style 1F1B-Sync Gantt chart
 //	ecofl all [--scale quick]          # everything
@@ -201,7 +201,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: ecofl <command> [flags]
 
 commands:
-  fl         --experiment {fig7|fig8|fig9} [--scale quick|full] [--seed N]
+  fl         --experiment {fig7|fig8|fig9|dropout} [--scale quick|full] [--seed N]
   pipeline   --experiment {fig5|fig10|fig11|fig12|fig13|table2} | --show-schedule
   partition  --model {effnet-bN|mobilenet-wX} --devices A,B,C [--mbs N] [--m M]
   headlines  [--scale quick|full]
@@ -223,7 +223,7 @@ func scaleByName(name string) experiments.Scale {
 
 func cmdFL(args []string) error {
 	fs := flag.NewFlagSet("fl", flag.ExitOnError)
-	exp := fs.String("experiment", "fig7", "fig7, fig8 or fig9")
+	exp := fs.String("experiment", "fig7", "fig7, fig8, fig9 or dropout")
 	scale := fs.String("scale", "quick", "quick or full")
 	seed := fs.Int64("seed", 1, "random seed")
 	csvDir := fs.String("csv", "", "directory for CSV export (optional)")
@@ -264,6 +264,10 @@ func cmdFL(args []string) error {
 			fmt.Fprintf(os.Stderr, "wrote 3 SVG charts to %s\n", *svgDir)
 		}
 		return writeCSV(*csvDir, experiments.Fig9ToSeries(rows))
+	case "dropout":
+		rows := experiments.Dropout(*seed, sc)
+		experiments.PrintDropout(os.Stdout, rows)
+		return writeCSV(*csvDir, experiments.DropoutToSeries(rows))
 	default:
 		return fmt.Errorf("unknown fl experiment %q", *exp)
 	}

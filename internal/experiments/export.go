@@ -54,6 +54,17 @@ func Fig9ToSeries(rows []Fig9Row) []*trace.Series {
 	return []*trace.Series{s}
 }
 
+// DropoutToSeries exports the dropout-vs-quorum resilience sweep.
+func DropoutToSeries(rows []DropoutRow) []*trace.Series {
+	s := trace.New("dropout_quorum", "dropout_prob", "quorum", "rounds",
+		"dropouts", "discarded", "failed_rounds", "final_acc", "best_acc")
+	for _, r := range rows {
+		s.Add(r.DropoutProb, r.Quorum, float64(r.Rounds), float64(r.Dropouts),
+			float64(r.Discarded), float64(r.FailedRounds), r.FinalAcc, r.BestAcc)
+	}
+	return []*trace.Series{s}
+}
+
 // PanelsToSeries exports Figs. 10/11: per-method epoch times plus each
 // method's accuracy-versus-time curve.
 func PanelsToSeries(panels []Panel) []*trace.Series {

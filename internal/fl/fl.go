@@ -115,6 +115,22 @@ type Config struct {
 	DynamicProb     float64
 	DynamicInterval float64
 
+	// DropoutProb is the per-round probability that a selected client drops
+	// out after being dispatched (a crash or lost link): its local work is
+	// discarded and it contributes nothing to the round. 0 disables dropout
+	// and leaves the run's random stream untouched, so legacy curves are
+	// byte-identical.
+	DropoutProb float64
+	// Quorum is the fraction of a round's selected clients whose reports are
+	// required (and sufficient) to commit the round: the round completes as
+	// soon as ⌈Quorum·selected⌉ survivors have reported, aggregation is
+	// sample-weighted over exactly those fastest reporters, and slower
+	// survivors' work is discarded. If fewer than the quorum survive, the
+	// round fails: the full round timeout elapses and the model is unchanged.
+	// 0 (or ≥1) means every selected client must report — the classic
+	// synchronous round.
+	Quorum float64
+
 	// MeanDelay/StdDelay parameterize the normal distribution the
 	// original response delays are sampled from.
 	MeanDelay, StdDelay float64
@@ -134,10 +150,13 @@ const flPID = 1
 // resolved once at run start so per-round updates never take the registry
 // lock. Every strategy family is labelled by strategy name.
 type runMetrics struct {
-	rounds   *metrics.Counter
-	selected *metrics.Counter
-	roundSec *metrics.Histogram
-	accuracy *metrics.Gauge
+	rounds    *metrics.Counter
+	selected  *metrics.Counter
+	roundSec  *metrics.Histogram
+	accuracy  *metrics.Gauge
+	dropouts  *metrics.Counter
+	discarded *metrics.Counter
+	failed    *metrics.Counter
 }
 
 func newRunMetrics(strategy string) *runMetrics {
@@ -151,6 +170,12 @@ func newRunMetrics(strategy string) *runMetrics {
 			metrics.ExpBuckets(1, 2, 10), "strategy", strategy),
 		accuracy: metrics.GetGauge("ecofl_fl_eval_accuracy",
 			"most recent test accuracy of the global model", "strategy", strategy),
+		dropouts: metrics.GetCounter("ecofl_fl_dropout_clients_total",
+			"selected clients that dropped out mid-round", "strategy", strategy),
+		discarded: metrics.GetCounter("ecofl_fl_quorum_discarded_total",
+			"surviving stragglers whose work was discarded by the quorum cut", "strategy", strategy),
+		failed: metrics.GetCounter("ecofl_fl_quorum_failed_rounds_total",
+			"rounds aborted because fewer than the quorum survived", "strategy", strategy),
 	}
 }
 
@@ -253,6 +278,26 @@ func (p *Population) ApplyMeasuredLatencies(lat map[int]float64) int {
 		}
 	}
 	return applied
+}
+
+// EvictStragglers marks the given client IDs as dropped, excluding them from
+// selection until Algorithm 1's TryReadmit (or a manual reset) brings them
+// back. It is the bridge from measured fleet health to the simulation: feed
+// it the IDs flagged by the flnet StragglerDetector and the chronically slow
+// portals stop being scheduled. Returns how many IDs matched a client.
+func (p *Population) EvictStragglers(ids []int) int {
+	byID := make(map[int]*Client, len(p.Clients))
+	for _, c := range p.Clients {
+		byID[c.ID] = c
+	}
+	evicted := 0
+	for _, id := range ids {
+		if c, ok := byID[id]; ok && !c.Dropped {
+			c.Dropped = true
+			evicted++
+		}
+	}
+	return evicted
 }
 
 // GlobalInit returns the initial global weight vector.

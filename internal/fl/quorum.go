@@ -1,0 +1,121 @@
+package fl
+
+// Graceful degradation under client failure: a synchronous round no longer
+// has to wait for — or even receive — every selected client. Each selected
+// client may drop out with Config.DropoutProb (its work is lost), and the
+// round commits as soon as a Config.Quorum fraction of the selection has
+// reported, aggregating sample-weighted over exactly those fastest
+// reporters. The cut is applied identically by RunFedAvg (to the global
+// round) and RunHierarchical (to each group's intra-group round).
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// roundCut is the outcome of applying dropout and the quorum rule to one
+// round's selection.
+type roundCut struct {
+	// committee holds the clients whose updates are aggregated, in the
+	// original selection order (so a disabled cut aggregates in exactly the
+	// legacy order and reproduces legacy curves bit for bit).
+	committee []*Client
+	// roundTime is the virtual time the round occupies: the latency of the
+	// quorum-completing reporter, or the slowest selected client's latency
+	// when every report is required or the round fails.
+	roundTime float64
+	dropouts  int  // selected clients that dropped out mid-round
+	discarded int  // survivors past the quorum whose finished work is discarded
+	failed    bool // fewer than the quorum survived: no aggregation
+}
+
+// cutRound applies cfg.DropoutProb and cfg.Quorum to a selection. Dropout
+// draws are consumed from rng in selection order, and only when DropoutProb
+// is positive — with dropout disabled the random stream is untouched. With
+// both features disabled the cut is the identity: committee == sel in order,
+// roundTime == the slowest selected latency.
+func cutRound(rng *rand.Rand, cfg Config, sel []*Client) roundCut {
+	cut := roundCut{committee: sel}
+	for _, c := range sel {
+		if l := c.Latency(); l > cut.roundTime {
+			cut.roundTime = l
+		}
+	}
+	if len(sel) == 0 {
+		return cut
+	}
+
+	survived := sel
+	if cfg.DropoutProb > 0 {
+		survived = make([]*Client, 0, len(sel))
+		for _, c := range sel {
+			if rng.Float64() < cfg.DropoutProb {
+				cut.dropouts++
+				continue
+			}
+			survived = append(survived, c)
+		}
+	}
+
+	quorum := cfg.Quorum
+	if quorum <= 0 || quorum >= 1 {
+		quorum = 1
+	}
+	need := int(math.Ceil(quorum * float64(len(sel))))
+	if need < 1 {
+		need = 1
+	}
+	if need > len(sel) {
+		need = len(sel)
+	}
+
+	if len(survived) < need {
+		// Quorum not reached: the aggregator waits out the whole round
+		// window for reports that never come, then gives up.
+		cut.failed = true
+		cut.committee = nil
+		return cut
+	}
+	if cfg.DropoutProb <= 0 && need == len(sel) {
+		return cut // fully disabled: the identity cut
+	}
+
+	// The round commits when the need-th fastest survivor reports. The
+	// stable sort keeps selection order among equal latencies, so committee
+	// membership is deterministic; membership is then re-projected onto
+	// selection order so aggregation arithmetic matches a legacy round over
+	// the same clients.
+	byLat := append([]*Client(nil), survived...)
+	sort.SliceStable(byLat, func(i, j int) bool { return byLat[i].Latency() < byLat[j].Latency() })
+	member := make(map[*Client]bool, need)
+	for _, c := range byLat[:need] {
+		member[c] = true
+	}
+	committee := make([]*Client, 0, need)
+	for _, c := range survived {
+		if member[c] {
+			committee = append(committee, c)
+		}
+	}
+	cut.committee = committee
+	cut.discarded = len(survived) - need
+	cut.roundTime = byLat[need-1].Latency()
+	return cut
+}
+
+// tally folds one cut's casualty counts into the result and its metrics.
+func (r *RunResult) tally(cut roundCut) {
+	r.Dropouts += cut.dropouts
+	r.QuorumDiscarded += cut.discarded
+	if cut.failed {
+		r.QuorumFailures++
+	}
+	if r.rm != nil {
+		r.rm.dropouts.Add(int64(cut.dropouts))
+		r.rm.discarded.Add(int64(cut.discarded))
+		if cut.failed {
+			r.rm.failed.Inc()
+		}
+	}
+}

@@ -36,6 +36,13 @@ type RunResult struct {
 	AvgJS, AvgLatency float64
 	// Dropped is the number of clients dropped out at the end.
 	Dropped int
+	// Dropouts counts selected clients that dropped out mid-round
+	// (Config.DropoutProb); QuorumDiscarded counts surviving stragglers whose
+	// finished work was cut by the quorum rule; QuorumFailures counts rounds
+	// aborted because fewer than ⌈Quorum·selected⌉ clients survived.
+	Dropouts        int
+	QuorumDiscarded int
+	QuorumFailures  int
 
 	// rm are the run's instruments on the metrics Default registry.
 	rm *runMetrics
@@ -155,25 +162,26 @@ func RunFedAvg(pop *Population) *RunResult {
 		if len(sel) == 0 {
 			break
 		}
-		var roundTime float64
-		weights := make([]float64, len(sel))
-		for i, c := range sel {
-			if l := c.Latency(); l > roundTime {
-				roundTime = l
+		cut := cutRound(rng, cfg, sel)
+		res.tally(cut)
+		roundTime := cut.roundTime
+		if !cut.failed {
+			weights := make([]float64, len(cut.committee))
+			for i, c := range cut.committee {
+				weights[i] = float64(c.Train.Len())
+				res.Participation[c.ID]++
 			}
-			weights[i] = float64(c.Train.Len())
-			res.Participation[c.ID]++
+			updates := pop.TrainClients(rng, cut.committee, w, 0) // plain FedAvg: no proximal term
+			w = WeightedAverage(updates, weights)
+			res.rm.selected.Add(int64(len(cut.committee)))
 		}
-		updates := pop.TrainClients(rng, sel, w, 0) // plain FedAvg: no proximal term
-		w = WeightedAverage(updates, weights)
 		if tr != nil {
 			tr.Span(flPID, 0, "round", "fl", t, t+roundTime,
-				map[string]float64{"clients": float64(len(sel))})
+				map[string]float64{"clients": float64(len(cut.committee))})
 		}
 		t += roundTime
 		res.Rounds++
 		res.rm.rounds.Inc()
-		res.rm.selected.Add(int64(len(sel)))
 		res.rm.roundSec.Observe(roundTime)
 		dyn.advance(rng, pop, t)
 		if t-lastEval >= cfg.EvalInterval {
@@ -375,30 +383,40 @@ func RunHierarchical(pop *Population, opts HierOptions) *RunResult {
 			eng.Schedule(cfg.MeanDelay, func() { scheduleRound(g) })
 			return
 		}
-		var roundTime float64
-		for _, c := range sel {
-			if l := c.Latency(); l > roundTime {
-				roundTime = l
-			}
-		}
+		cut := cutRound(rng, cfg, sel)
+		res.tally(cut)
+		roundTime := cut.roundTime
 		eng.Schedule(roundTime, func() {
 			now := eng.Now()
-			weights := make([]float64, len(sel))
+			if cut.failed {
+				// The group waited out the round window without reaching its
+				// quorum: no aggregation, try again with a fresh selection.
+				res.Rounds++
+				res.rm.rounds.Inc()
+				res.rm.roundSec.Observe(roundTime)
+				if tr != nil {
+					tr.Span(flPID, g.ID, "group-round-failed", "fl", start, now,
+						map[string]float64{"dropouts": float64(cut.dropouts)})
+				}
+				scheduleRound(g)
+				return
+			}
+			weights := make([]float64, len(cut.committee))
 			ref := groupModel[g]
-			for i, c := range sel {
+			for i, c := range cut.committee {
 				weights[i] = float64(c.Train.Len())
 				res.Participation[c.ID]++
 			}
-			updates := pop.TrainClients(rng, sel, ref, cfg.Mu)
+			updates := pop.TrainClients(rng, cut.committee, ref, cfg.Mu)
 			groupW := WeightedAverage(updates, weights)
 			copy(groupModel[g], groupW)
 			res.Rounds++
 			res.rm.rounds.Inc()
-			res.rm.selected.Add(int64(len(sel)))
+			res.rm.selected.Add(int64(len(cut.committee)))
 			res.rm.roundSec.Observe(roundTime)
 			if tr != nil {
 				tr.Span(flPID, g.ID, "group-round", "fl", start, now,
-					map[string]float64{"clients": float64(len(sel))})
+					map[string]float64{"clients": float64(len(cut.committee))})
 			}
 			roundsSinceSync[g]++
 			if roundsSinceSync[g] >= cfg.GroupSyncEvery {

@@ -1,0 +1,138 @@
+package flnet
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	s := startServer(t, []float64{0, 0}, 0.5)
+	c, err := Dial(s.Addr(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.Push([]float64{1, 2}, 1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "srv.ckpt")
+	if err := s.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantW, wantV := s.Snapshot()
+	if ck.Version != wantV || ck.Pushes != 3 {
+		t.Fatalf("restored version/pushes = %d/%d, want %d/3", ck.Version, ck.Pushes, wantV)
+	}
+	for i := range wantW {
+		if ck.Weights[i] != wantW[i] {
+			t.Fatalf("restored weights %v, want %v", ck.Weights, wantW)
+		}
+	}
+	if ck.LastSeq[4] != 3 {
+		t.Fatalf("restored LastSeq[4] = %d, want 3", ck.LastSeq[4])
+	}
+	// The atomic write leaves no temp litter behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.ckpt")
+	if err := os.WriteFile(bad, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(bad); err == nil {
+		t.Fatal("garbage file must be rejected")
+	}
+	// Wrong magic (a valid gob of the wrong thing).
+	wrong := filepath.Join(dir, "wrong.ckpt")
+	ck := &Checkpoint{Magic: "SOMETHING-ELSE", Format: checkpointFormat, Weights: []float64{1}}
+	if err := ck.WriteFile(wrong); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(wrong); err == nil || !strings.Contains(err.Error(), "not an Eco-FL server checkpoint") {
+		t.Fatalf("wrong magic must be rejected, got %v", err)
+	}
+	// Future format version.
+	future := filepath.Join(dir, "future.ckpt")
+	ck = &Checkpoint{Magic: checkpointMagic, Format: checkpointFormat + 1, Weights: []float64{1}}
+	if err := ck.WriteFile(future); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(future); err == nil || !strings.Contains(err.Error(), "format") {
+		t.Fatalf("future format must be rejected, got %v", err)
+	}
+	// Missing file surfaces as not-exist for cold-start detection.
+	if _, err := LoadCheckpoint(filepath.Join(dir, "absent.ckpt")); !os.IsNotExist(err) {
+		t.Fatalf("missing checkpoint must be IsNotExist, got %v", err)
+	}
+}
+
+func TestResumeRejectsModelMismatch(t *testing.T) {
+	ck := &Checkpoint{Magic: checkpointMagic, Format: checkpointFormat, Weights: []float64{1, 2, 3}}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := NewServerOpts(ln, []float64{1, 2}, ServerOptions{Alpha: 0.5, Resume: ck}); err == nil {
+		t.Fatal("resume with mismatched model size must fail")
+	}
+}
+
+// Periodic checkpointing writes on the interval and flushes once more on
+// stop, so a graceful shutdown never loses accepted pushes.
+func TestStartCheckpointing(t *testing.T) {
+	s := startServer(t, []float64{0}, 0.5)
+	c, err := Dial(s.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	path := filepath.Join(t.TempDir(), "periodic.ckpt")
+	stop := s.StartCheckpointing(path, 10*time.Millisecond)
+	if _, _, err := c.Push([]float64{8}, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if ck, err := LoadCheckpoint(path); err == nil && ck.Pushes >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic checkpoint never captured the push")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Push again and stop: the final flush must capture it.
+	if _, _, err := c.Push([]float64{9}, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	stop() // idempotent
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Pushes != 2 || ck.Version != 2 {
+		t.Fatalf("final flush: pushes/version = %d/%d, want 2/2", ck.Pushes, ck.Version)
+	}
+}

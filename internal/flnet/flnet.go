@@ -6,6 +6,16 @@
 // staleness-attenuated α — under a mutex, so any number of portals can push
 // concurrently. This is the "prototype" transport counterpart of the
 // virtual-time simulator in internal/fl.
+//
+// The transport assumes the network fails: every round trip runs under a
+// deadline, the client transparently reconnects with exponential backoff,
+// and pushes carry a per-client monotonic sequence number so a retried push
+// that already landed is acknowledged from the server's dedup window instead
+// of being mixed twice (the FedAsync update is not idempotent, so dedup is a
+// correctness requirement, not an optimization). The server checkpoints its
+// state to disk and resumes after a crash (checkpoint.go), and the whole
+// stack is soak-tested under injected link faults (internal/simnet, the
+// chaos tests).
 package flnet
 
 import (
@@ -13,8 +23,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ecofl/internal/fl"
@@ -23,10 +35,14 @@ import (
 // request is the client→server message. A push carries either raw Weights
 // or a Quantized payload (mutually exclusive). Telemetry piggybacks on
 // pushes when the client has it enabled, and is the sole payload of a
-// standalone "telemetry" request.
+// standalone "telemetry" request. Seq is the client's monotonically
+// increasing push sequence number (0 on non-push requests and from legacy
+// clients): the server acks a Seq it has already applied from its dedup
+// window instead of mixing the update again.
 type request struct {
 	Kind        string // "pull", "push" or "telemetry"
 	ClientID    int
+	Seq         uint64
 	Weights     []float64
 	Quant       *Quantized
 	NumSamples  int
@@ -41,6 +57,40 @@ type reply struct {
 	Err     string
 }
 
+// ServerOptions configures fault-tolerance aspects of a Server.
+type ServerOptions struct {
+	// Alpha is the base mixing weight of the asynchronous aggregation.
+	Alpha float64
+	// IdleTimeout bounds how long a connection may sit idle between
+	// requests before the server drops it (a reconnecting client rides
+	// through, and its next push is deduplicated if needed). 0 disables:
+	// portals legitimately go quiet for whole local-training rounds, and
+	// Close force-closes every tracked connection anyway.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each reply write so a dead portal cannot pin a
+	// handler goroutine mid-send. 0 means the 30s default; negative
+	// disables.
+	WriteTimeout time.Duration
+	// Resume restores weights, version, push count and the per-client
+	// sequence numbers from a checkpoint (crash recovery).
+	Resume *Checkpoint
+	// WrapConn, when non-nil, wraps every accepted connection — the hook
+	// the chaos tests use to inject faults on the server side of the link
+	// (a reply lost after the update was applied is the case that makes
+	// push dedup a correctness requirement).
+	WrapConn func(net.Conn) net.Conn
+}
+
+// DefaultTimeout is the default per-round-trip deadline on both ends.
+const DefaultTimeout = 30 * time.Second
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = DefaultTimeout
+	}
+	return o
+}
+
 // Server owns the global model and serves pull/push requests.
 type Server struct {
 	// Alpha is the base mixing weight; StalenessExp the polynomial
@@ -48,39 +98,105 @@ type Server struct {
 	Alpha        float64
 	StalenessExp float64
 
+	opts  ServerOptions
 	ln    net.Listener
 	wg    sync.WaitGroup
 	fleet *Fleet
+
+	// connMu guards the open-connection set so Close can sever handlers
+	// blocked in Decode on live-but-idle portals.
+	connMu   sync.Mutex
+	conns    map[net.Conn]struct{}
+	shutdown bool
 
 	mu      sync.Mutex
 	weights []float64
 	version int
 	pushes  int
+	lastSeq map[int]uint64 // highest applied push Seq per client
+	lastAck map[int]reply  // dedup window: the ack for lastSeq per client
+	deduped int
 }
 
 // NewServer creates a server holding the initial global weights and starts
 // accepting connections on ln. Close the server to stop.
 func NewServer(ln net.Listener, init []float64, alpha float64) *Server {
+	s, err := NewServerOpts(ln, init, ServerOptions{Alpha: alpha})
+	if err != nil {
+		// Only Resume validation can fail, and there is no Resume here.
+		panic(err)
+	}
+	return s
+}
+
+// NewServerOpts is NewServer with fault-tolerance options. With
+// opts.Resume, the server starts from the checkpointed state (weights,
+// version, push count, per-client sequence numbers) instead of init; init's
+// length must match the checkpointed model.
+func NewServerOpts(ln net.Listener, init []float64, opts ServerOptions) (*Server, error) {
+	opts = opts.withDefaults()
 	s := &Server{
-		Alpha:        alpha,
+		Alpha:        opts.Alpha,
 		StalenessExp: 1.0,
+		opts:         opts,
 		ln:           ln,
 		fleet:        newFleet(),
+		conns:        make(map[net.Conn]struct{}),
 		weights:      append([]float64(nil), init...),
+		lastSeq:      make(map[int]uint64),
+		lastAck:      make(map[int]reply),
+	}
+	if ck := opts.Resume; ck != nil {
+		if len(init) != 0 && len(ck.Weights) != len(init) {
+			return nil, fmt.Errorf("flnet: checkpoint has %d weights, model has %d", len(ck.Weights), len(init))
+		}
+		s.weights = append([]float64(nil), ck.Weights...)
+		s.version = ck.Version
+		s.pushes = ck.Pushes
+		for id, seq := range ck.LastSeq {
+			s.lastSeq[id] = seq
+		}
+		srvCkptResumes.Inc()
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s
+	return s, nil
 }
 
 // Addr returns the listen address, e.g. to hand to Dial.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting connections and waits for the accept loop.
+// Close stops accepting connections, severs every open portal connection
+// (so handlers blocked in Decode on idle links exit), and waits for all
+// handler goroutines.
 func (s *Server) Close() error {
 	err := s.ln.Close()
+	s.connMu.Lock()
+	s.shutdown = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
 	s.wg.Wait()
 	return err
+}
+
+// trackConn registers a live connection for shutdown, refusing it when the
+// server is already closing (the accept race).
+func (s *Server) trackConn(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.shutdown {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackConn(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
 }
 
 // Snapshot returns a copy of the current global weights and model version.
@@ -101,12 +217,23 @@ func (s *Server) Pushes() int {
 	return s.pushes
 }
 
+// Deduped returns how many retried pushes were acked from the dedup window
+// instead of being mixed a second time.
+func (s *Server) Deduped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deduped
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			return // listener closed
+		}
+		if s.opts.WrapConn != nil {
+			conn = s.opts.WrapConn(conn)
 		}
 		s.wg.Add(1)
 		go func() {
@@ -118,10 +245,17 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	if !s.trackConn(conn) {
+		return // server shutting down
+	}
+	defer s.untrackConn(conn)
 	cc := countingConn{Conn: conn, in: srvBytesIn, out: srvBytesOut}
 	dec := gob.NewDecoder(cc)
 	enc := gob.NewEncoder(cc)
 	for {
+		if s.opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
 		var req request
 		if err := dec.Decode(&req); err != nil {
 			if err != io.EOF {
@@ -145,12 +279,10 @@ func (s *Server) handle(conn net.Conn) {
 			} else if req.Weights != nil {
 				srvPayloadRaw.Inc()
 			}
-			if err := s.apply(&req); err != nil {
-				srvPushErrors.Inc()
-				rep.Err = err.Error()
-			} else {
+			var applied bool
+			rep, applied = s.applyPush(&req)
+			if applied {
 				s.fleet.observePush(req.ClientID)
-				rep.Weights, rep.Version = s.Snapshot()
 			}
 		case "telemetry":
 			srvRequestsTelemetry.Inc()
@@ -164,6 +296,9 @@ func (s *Server) handle(conn net.Conn) {
 		if req.Telemetry != nil {
 			s.fleet.ingest(req.Telemetry)
 		}
+		if s.opts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		}
 		if err := enc.Encode(&rep); err != nil {
 			return
 		}
@@ -171,9 +306,41 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-func (s *Server) apply(req *request) error {
+// applyPush mixes one push into the global model, deduplicating retries:
+// a sequence number at or below the client's high-water mark was already
+// applied (the first attempt landed but its ack was lost), so the client
+// gets an acknowledgement — the stored ack for an exact match, the current
+// snapshot for an older straggler — and the model is left untouched.
+// applied reports whether the update was actually mixed in.
+func (s *Server) applyPush(req *request) (rep reply, applied bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if req.Seq > 0 && req.Seq <= s.lastSeq[req.ClientID] {
+		s.deduped++
+		srvDedupedPushes.Inc()
+		if req.Seq == s.lastSeq[req.ClientID] {
+			if ack, ok := s.lastAck[req.ClientID]; ok {
+				return ack, false
+			}
+		}
+		// Seq predates the window (or the ack was lost to a restart):
+		// ack with the current model, which is at least as fresh.
+		return reply{Weights: append([]float64(nil), s.weights...), Version: s.version}, false
+	}
+	if err := s.applyLocked(req); err != nil {
+		srvPushErrors.Inc()
+		return reply{Err: err.Error()}, false
+	}
+	rep = reply{Weights: append([]float64(nil), s.weights...), Version: s.version}
+	if req.Seq > 0 {
+		s.lastSeq[req.ClientID] = req.Seq
+		s.lastAck[req.ClientID] = rep
+	}
+	return rep, true
+}
+
+// applyLocked mixes the update into the global model. Caller holds s.mu.
+func (s *Server) applyLocked(req *request) error {
 	update := req.Weights
 	if update == nil {
 		if req.Quant == nil {
@@ -193,32 +360,73 @@ func (s *Server) apply(req *request) error {
 	return nil
 }
 
-// Client is a portal-side connection to the Eco-FL server.
+// ErrClosed is returned by round trips on a closed client.
+var ErrClosed = errors.New("flnet: client closed")
+
+// Client is a portal-side connection to the Eco-FL server. Round trips run
+// under a deadline and transparently reconnect with exponential backoff on
+// transport failure; pushes are made idempotent by a per-client sequence
+// number (see Options).
 type Client struct {
 	ID   int
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	mu   sync.Mutex
-	tel  *telemetryState // nil until EnableTelemetry
+	addr string
+	opts Options
+
+	mu  sync.Mutex // serializes round trips; guards enc/dec, tel, seq, rng
+	enc *gob.Encoder
+	dec *gob.Decoder
+	tel *telemetryState // nil until EnableTelemetry
+	seq uint64          // last assigned push sequence number
+	rng *rand.Rand      // backoff jitter stream
+
+	// connMu guards the conn pointer against the Close race so a close
+	// can sever an in-flight attempt without waiting for its deadline.
+	connMu sync.Mutex
+	conn   net.Conn
+
+	closed     atomic.Bool
+	closeOnce  sync.Once
+	closedCh   chan struct{}
+	closeErr   error
+	retries    atomic.Int64
+	reconnects atomic.Int64
 }
 
-// Dial connects a portal to the server.
+// Stats reports how often the client retried a round trip and re-dialed the
+// server (both 0 on a healthy link).
+func (c *Client) Stats() (retries, reconnects int64) {
+	return c.retries.Load(), c.reconnects.Load()
+}
+
+// Dial connects a portal to the server with default fault tolerance
+// (30s round-trip deadline, 3 retries with exponential backoff).
 func Dial(addr string, id int) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	cc := countingConn{Conn: conn, in: cliBytesIn, out: cliBytesOut}
-	return &Client{ID: id, conn: conn, enc: gob.NewEncoder(cc), dec: gob.NewDecoder(cc)}, nil
+	return DialOptions(addr, id, Options{})
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close severs the connection and interrupts any backoff wait. It is
+// idempotent and safe to race with in-flight round trips or the telemetry
+// flusher: once Close starts, no round trip will touch or re-dial the
+// connection again.
+func (c *Client) Close() error {
+	c.closeOnce.Do(func() {
+		c.closed.Store(true)
+		close(c.closedCh)
+		c.connMu.Lock()
+		if c.conn != nil {
+			c.closeErr = c.conn.Close()
+		}
+		c.connMu.Unlock()
+	})
+	return c.closeErr
+}
 
 func (c *Client) roundTrip(req *request) (*reply, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
 	switch req.Kind {
 	case "pull":
 		cliRequestsPull.Inc()
@@ -227,11 +435,59 @@ func (c *Client) roundTrip(req *request) (*reply, error) {
 	default:
 		cliRequestsPush.Inc()
 	}
+	// Assign the push sequence number once per logical push, before any
+	// retry, so every attempt of the same update carries the same Seq and
+	// the server can dedup a retry whose original landed.
+	if req.Kind == "push" && req.Seq == 0 {
+		c.seq++
+		req.Seq = c.seq
+	}
 	if c.tel != nil && req.Telemetry == nil && req.Kind != "pull" {
 		req.Telemetry = c.telemetrySnapshotLocked()
 	}
 	t0 := time.Now()
 	defer func() { cliRequestSeconds.Observe(time.Since(t0).Seconds()) }()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if attempt > c.opts.MaxRetries {
+				return nil, fmt.Errorf("flnet: round trip failed after %d attempts: %w", attempt, lastErr)
+			}
+			c.retries.Add(1)
+			cliRetries.Inc()
+			if !c.backoff(attempt) {
+				return nil, ErrClosed
+			}
+			if err := c.reconnectLocked(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		rep, err := c.attemptLocked(req)
+		if err == nil {
+			if rep.Err != "" {
+				// The server answered: an application-level rejection is
+				// deterministic and must not be retried.
+				return nil, errors.New(rep.Err)
+			}
+			return rep, nil
+		}
+		lastErr = err
+	}
+}
+
+// attemptLocked runs one encode/decode round trip under the deadline.
+// Caller holds c.mu.
+func (c *Client) attemptLocked(req *request) (*reply, error) {
+	c.connMu.Lock()
+	conn := c.conn
+	c.connMu.Unlock()
+	if conn == nil || c.closed.Load() {
+		return nil, ErrClosed
+	}
+	if c.opts.Timeout > 0 {
+		conn.SetDeadline(time.Now().Add(c.opts.Timeout))
+	}
 	if err := c.enc.Encode(req); err != nil {
 		return nil, err
 	}
@@ -239,8 +495,8 @@ func (c *Client) roundTrip(req *request) (*reply, error) {
 	if err := c.dec.Decode(&rep); err != nil {
 		return nil, err
 	}
-	if rep.Err != "" {
-		return nil, errors.New(rep.Err)
+	if c.opts.Timeout > 0 {
+		conn.SetDeadline(time.Time{})
 	}
 	return &rep, nil
 }
@@ -256,7 +512,10 @@ func (c *Client) Pull() ([]float64, int, error) {
 
 // Push submits an update trained from baseVersion and returns the freshly
 // mixed global model (saving the portal a second round trip, as the paper's
-// portal does when re-entering the next sync-round).
+// portal does when re-entering the next sync-round). A push interrupted by
+// a transport failure is retried with the same sequence number, so it is
+// applied exactly once even if the original attempt landed and only the
+// acknowledgement was lost.
 func (c *Client) Push(weights []float64, samples, baseVersion int) ([]float64, int, error) {
 	rep, err := c.roundTrip(&request{
 		Kind: "push", ClientID: c.ID, Weights: weights,

@@ -13,14 +13,22 @@ import (
 // 4-element vectors (runs the seed corpus under plain `go test`; use
 // `go test -fuzz=FuzzQuantizeRoundTrip` for continuous fuzzing).
 // FuzzRequestDecode throws arbitrary byte streams at the server-side request
-// decode + telemetry-ingest path: whatever survives the gob decoder must be
-// ingestible without panicking, no matter what metric names, label lists, or
-// span batches the bytes claim to carry.
+// loop: whatever survives the gob decoder is fed through the push
+// aggregation (including the seq-dedup window) and telemetry ingest, which
+// must not panic and must hold their invariants — duplicate sequence numbers
+// are never re-applied, the seq high-water mark never moves backwards, and
+// the model version advances exactly once per accepted push — no matter what
+// kinds, payloads, metric names, or span batches the bytes claim to carry.
+// Truncated streams (a connection severed mid-gob) must decode cleanly up to
+// the cut and reject the rest.
 func FuzzRequestDecode(f *testing.F) {
-	seed := func(req *request) []byte {
+	seed := func(reqs ...*request) []byte {
 		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(req); err != nil {
-			f.Fatal(err)
+		enc := gob.NewEncoder(&buf)
+		for _, req := range reqs {
+			if err := enc.Encode(req); err != nil {
+				f.Fatal(err)
+			}
 		}
 		return buf.Bytes()
 	}
@@ -38,17 +46,57 @@ func FuzzRequestDecode(f *testing.F) {
 		Metrics: []MetricPoint{{Family: `bad{family`, Labels: []string{"odd"}, Kind: "gauge"}},
 	}}))
 	f.Add(seed(&request{Kind: "push", Weights: []float64{1, 2}, NumSamples: 3}))
+	// The retry wire patterns: the same Seq pushed twice back to back (an ack
+	// lost in flight), and a stale straggler Seq after a newer one landed.
+	f.Add(seed(
+		&request{Kind: "push", ClientID: 2, Seq: 5, Weights: []float64{1, 2}, NumSamples: 1},
+		&request{Kind: "push", ClientID: 2, Seq: 5, Weights: []float64{1, 2}, NumSamples: 1},
+	))
+	f.Add(seed(
+		&request{Kind: "push", ClientID: 1, Seq: 9, Weights: []float64{3, 4}, NumSamples: 1},
+		&request{Kind: "push", ClientID: 1, Seq: 2, Weights: []float64{8, 8}, NumSamples: 1},
+		&request{Kind: "pull", ClientID: 1},
+	))
+	// Connections severed mid-message: a lone truncated request, and a valid
+	// request followed by a truncated one (decode succeeds, then fails).
+	whole := seed(&request{Kind: "push", ClientID: 3, Seq: 1, Weights: []float64{5, 6}, NumSamples: 2})
+	f.Add(whole[:len(whole)/2])
+	f.Add(append(append([]byte(nil), whole...), whole[:2*len(whole)/3]...))
 	f.Add([]byte("\x7fthis is not a gob stream"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, raw []byte) {
-		var req request
-		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&req); err != nil {
-			return // malformed stream: the server counts it and drops the conn
+		// A bare in-package server: applyPush and telemetry ingest never
+		// touch the listener or connection set.
+		s := &Server{
+			Alpha: 0.5, StalenessExp: 1,
+			fleet:   newFleet(),
+			weights: []float64{0, 0},
+			lastSeq: make(map[int]uint64),
+			lastAck: make(map[int]reply),
 		}
-		if req.Telemetry != nil {
-			fleet := newFleet()
-			fleet.ingest(req.Telemetry)
-			fleet.observePush(req.ClientID)
+		dec := gob.NewDecoder(bytes.NewReader(raw))
+		for n := 0; n < 64; n++ {
+			var req request
+			if err := dec.Decode(&req); err != nil {
+				break // malformed or truncated: the server drops the conn
+			}
+			if req.Kind == "push" {
+				prev := s.lastSeq[req.ClientID]
+				_, applied := s.applyPush(&req)
+				if applied && req.Seq > 0 && req.Seq <= prev {
+					t.Fatalf("duplicate seq %d (high-water %d) was re-applied", req.Seq, prev)
+				}
+				if s.lastSeq[req.ClientID] < prev {
+					t.Fatalf("seq high-water mark moved backwards: %d -> %d", prev, s.lastSeq[req.ClientID])
+				}
+			}
+			if req.Telemetry != nil {
+				s.fleet.ingest(req.Telemetry)
+				s.fleet.observePush(req.ClientID)
+			}
+		}
+		if s.version != s.pushes {
+			t.Fatalf("version %d != accepted pushes %d", s.version, s.pushes)
 		}
 	})
 }

@@ -47,6 +47,16 @@ var (
 		"bytes written to the server connection")
 	cliRequestSeconds = metrics.GetHistogram("ecofl_flnet_client_request_seconds",
 		"client-side round-trip latency", metrics.DefBuckets)
+
+	// Fault-tolerance instrumentation: every retry, redial and dedup ack is
+	// counted, so the dashboard shows how hard the transport is working to
+	// hide a bad network.
+	cliRetries = metrics.GetCounter("ecofl_flnet_client_retries_total",
+		"round-trip attempts repeated after a transport failure")
+	cliReconnects = metrics.GetCounter("ecofl_flnet_client_reconnects_total",
+		"fresh connections dialed to replace a failed one")
+	srvDedupedPushes = metrics.GetCounter("ecofl_flnet_server_deduped_pushes_total",
+		"retried pushes acked from the dedup window instead of mixed again")
 )
 
 // countingConn counts every byte crossing a net.Conn into a counter pair.

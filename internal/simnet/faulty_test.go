@@ -1,0 +1,153 @@
+package simnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// readAll drains n bytes from conn on a goroutine and delivers them.
+func readN(conn net.Conn, n int) <-chan []byte {
+	ch := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			ch <- nil
+			return
+		}
+		ch <- buf
+	}()
+	return ch
+}
+
+// A fault-free Faulty must be byte-transparent: the golden round trip
+// delivers exactly the written bytes, in order, through the wrapper.
+func TestFaultFreeWrapperTransparent(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	f := NewChaos(FaultPlan{Seed: 1, Mode: FaultNone}).Wrap(a)
+	golden := []byte("eco-fl golden round trip \x00\x01\x02\xff payload")
+	got := readN(b, len(golden))
+	if n, err := f.Write(golden); err != nil || n != len(golden) {
+		t.Fatalf("Write = (%d, %v), want (%d, nil)", n, err, len(golden))
+	}
+	if buf := <-got; !bytes.Equal(buf, golden) {
+		t.Fatalf("wrapper corrupted bytes: got %q want %q", buf, golden)
+	}
+	// Reads pass through untouched too.
+	echo := readN(f, 5)
+	if _, err := b.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if buf := <-echo; !bytes.Equal(buf, []byte("hello")) {
+		t.Fatalf("read through wrapper got %q", buf)
+	}
+}
+
+func TestFaultDropClosesConn(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	f := NewChaos(FaultPlan{Seed: 1, Mode: FaultDrop, Prob: 1}).Wrap(a)
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Fatal("dropped write must error")
+	}
+	// The underlying conn is closed: further writes fail at the conn level.
+	if _, err := a.Write([]byte("y")); err == nil {
+		t.Fatal("underlying conn must be closed after a drop")
+	}
+}
+
+func TestFaultBlackHoleSwallowsWrite(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	f := NewChaos(FaultPlan{Seed: 1, Mode: FaultBlackHole, Prob: 1}).Wrap(a)
+	if n, err := f.Write([]byte("vanish")); err != nil || n != 6 {
+		t.Fatalf("black-holed write must claim success, got (%d, %v)", n, err)
+	}
+	// Nothing arrives at the peer.
+	b.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if n, err := b.Read(make([]byte, 8)); err == nil {
+		t.Fatalf("peer received %d black-holed bytes", n)
+	}
+}
+
+func TestFaultSeverDeliversPrefix(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	f := NewChaos(FaultPlan{Seed: 1, Mode: FaultSever, Prob: 1}).Wrap(a)
+	msg := []byte("0123456789")
+	got := readN(b, 5)
+	if _, err := f.Write(msg); err == nil {
+		t.Fatal("severed write must error")
+	}
+	if buf := <-got; !bytes.Equal(buf, msg[:5]) {
+		t.Fatalf("prefix = %q, want %q", buf, msg[:5])
+	}
+}
+
+// A partition outlasts a reconnect: the window is owned by the Chaos, so a
+// fresh conn through the same link is still down, and dials fail too.
+func TestFaultPartitionSharedAcrossConns(t *testing.T) {
+	chaos := NewChaos(FaultPlan{Seed: 1, Mode: FaultPartition, Prob: 1, Partition: 200 * time.Millisecond})
+	a1, b1 := net.Pipe()
+	defer a1.Close()
+	defer b1.Close()
+	f1 := chaos.Wrap(a1)
+	if _, err := f1.Write([]byte("x")); err != ErrPartitioned {
+		t.Fatalf("first write should open the partition, got %v", err)
+	}
+	// A "reconnected" second conn through the same link is partitioned.
+	a2, b2 := net.Pipe()
+	defer a2.Close()
+	defer b2.Close()
+	f2 := chaos.Wrap(a2)
+	if _, err := f2.Write([]byte("y")); err != ErrPartitioned {
+		t.Fatalf("reconnect must still be partitioned, got %v", err)
+	}
+	if _, err := f2.Read(make([]byte, 1)); err != ErrPartitioned {
+		t.Fatalf("reads must fail during partition, got %v", err)
+	}
+	dial := chaos.Dialer(func(string) (net.Conn, error) { return a2, nil })
+	if _, err := dial("anywhere"); err != ErrPartitioned {
+		t.Fatalf("dials must fail during partition, got %v", err)
+	}
+	// After the window the link heals (Prob 1 would re-partition on the
+	// next write, so check the flag rather than writing).
+	time.Sleep(220 * time.Millisecond)
+	if chaos.partitioned() {
+		t.Fatal("partition must heal after the window")
+	}
+}
+
+// The trigger stream is seeded: two Chaos with the same plan fire on the
+// same writes.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	seq := func() []FaultMode {
+		c := NewChaos(FaultPlan{Seed: 7, Mode: FaultBlackHole, Prob: 0.3, After: 2})
+		out := make([]FaultMode, 50)
+		for i := range out {
+			out[i] = c.decide()
+		}
+		return out
+	}
+	x, y := seq(), seq()
+	fired := 0
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("decide() diverged at write %d: %v vs %v", i, x[i], y[i])
+		}
+		if x[i] != FaultNone {
+			fired++
+		}
+		if i < 2 && x[i] != FaultNone {
+			t.Fatalf("write %d fired inside the After grace window", i)
+		}
+	}
+	if fired == 0 {
+		t.Fatal("plan with Prob 0.3 over 50 writes never fired")
+	}
+}

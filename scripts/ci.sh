@@ -14,6 +14,9 @@ fi
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/tensor/... ./internal/fl/... \
+# -short keeps the race pass fast: the flnet chaos soak (fault-injected
+# links, server bounces) runs its reduced-round configuration here, having
+# already run in full above.
+go test -race -short ./internal/tensor/... ./internal/fl/... \
 	./internal/metrics/... ./internal/obs/... ./internal/adaptive/... \
-	./internal/flnet/... ./internal/pipeline/runtime/...
+	./internal/flnet/... ./internal/simnet/... ./internal/pipeline/runtime/...
