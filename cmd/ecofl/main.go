@@ -4,7 +4,8 @@
 // Usage:
 //
 //	ecofl fl --experiment {fig7|fig8|fig9|dropout} [--scale quick|full] [--seed N]
-//	ecofl pipeline --experiment {fig5|fig10|fig11|fig12|fig13|table2}
+//	ecofl pipeline --experiment {fig5|fig10|fig11|fig12|fig13|table2|failover}
+//	ecofl pipeline --experiment failover --chaos sever --chaos-prob 0.03 --fail-stage 1 --fail-round 3
 //	ecofl pipeline --show-schedule     # Fig. 3-style 1F1B-Sync Gantt chart
 //	ecofl all [--scale quick]          # everything
 package main
@@ -26,6 +27,7 @@ import (
 	"ecofl/internal/partition"
 	"ecofl/internal/pipeline"
 	"ecofl/internal/plot"
+	"ecofl/internal/simnet"
 	"ecofl/internal/tensor"
 	"ecofl/internal/trace"
 )
@@ -202,7 +204,7 @@ func usage() {
 
 commands:
   fl         --experiment {fig7|fig8|fig9|dropout} [--scale quick|full] [--seed N]
-  pipeline   --experiment {fig5|fig10|fig11|fig12|fig13|table2} | --show-schedule
+  pipeline   --experiment {fig5|fig10|fig11|fig12|fig13|table2|failover} | --show-schedule
   partition  --model {effnet-bN|mobilenet-wX} --devices A,B,C [--mbs N] [--m M]
   headlines  [--scale quick|full]
   devices    (print the Table 1 device presets)
@@ -275,10 +277,16 @@ func cmdFL(args []string) error {
 
 func cmdPipeline(args []string) error {
 	fs := flag.NewFlagSet("pipeline", flag.ExitOnError)
-	exp := fs.String("experiment", "", "fig5, fig10, fig11, fig12, fig13 or table2")
+	exp := fs.String("experiment", "", "fig5, fig10, fig11, fig12, fig13, table2 or failover")
 	show := fs.Bool("show-schedule", false, "print a Fig. 3-style 1F1B-Sync schedule")
 	csvDir := fs.String("csv", "", "directory for CSV export (optional)")
 	svgDir := fs.String("svg", "", "directory for SVG charts (optional)")
+	chaosMode := fs.String("chaos", "none", "failover link fault mode: none, drop, stall, black-hole, sever, partition")
+	chaosProb := fs.Float64("chaos-prob", 0.03, "failover per-write fault probability")
+	failStage := fs.Int("fail-stage", 1, "failover: fleet device to kill (-1 disables)")
+	failRound := fs.Int("fail-round", 3, "failover: round at which the device dies")
+	rounds := fs.Int("rounds", 8, "failover: sync-rounds to train")
+	seed := fs.Int64("seed", 1, "failover: experiment seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -350,6 +358,30 @@ func cmdPipeline(args []string) error {
 		}
 		experiments.PrintTable2(os.Stdout, rows)
 		return writeCSV(*csvDir, experiments.Table2ToSeries(rows))
+	case "failover":
+		mode, err := simnet.ParseFaultMode(*chaosMode)
+		if err != nil {
+			return err
+		}
+		fr := *failRound
+		if *failStage < 0 {
+			fr = -1
+		}
+		cfg := &experiments.LiveFailover{
+			Seed:           *seed,
+			Rounds:         *rounds,
+			FailRound:      fr,
+			FailDevice:     *failStage,
+			Chaos:          mode,
+			ChaosProb:      *chaosProb,
+			MicroBatchSize: 6,
+		}
+		rep, err := cfg.Run()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFailover(os.Stdout, rep)
+		return nil
 	default:
 		return fmt.Errorf("unknown pipeline experiment %q", *exp)
 	}

@@ -51,6 +51,12 @@ func (m *Monitor) Check(s int, execTime float64) (dev float64, slower bool) {
 	if m.Alpha == 0 {
 		m.Alpha = 0.3
 	}
+	// Hostile or warm-up inputs never trigger: a negative key (an unmapped
+	// stage after a migration) and non-positive measurements (a clock
+	// hiccup, an idle probe) carry no deviation signal.
+	if s < 0 || execTime <= 0 {
+		return 0, false
+	}
 	for len(m.history) <= s {
 		m.history = append(m.history, 0)
 	}
@@ -75,10 +81,19 @@ func (m *Monitor) Exceeds(dev float64) bool {
 
 // History returns the smoothed execution time for stage s (0 if unseen).
 func (m *Monitor) History(s int) float64 {
-	if s < len(m.history) {
+	if s >= 0 && s < len(m.history) {
 		return m.history[s]
 	}
 	return 0
+}
+
+// Forget clears the history for key s. After a migration the workload
+// behind a key changes (the device runs different layers), so its history
+// no longer predicts anything: the next measurement re-seeds it.
+func (m *Monitor) Forget(s int) {
+	if s >= 0 && s < len(m.history) {
+		m.history[s] = 0
+	}
 }
 
 // MigrationPlan describes moving from one stage layout to another.

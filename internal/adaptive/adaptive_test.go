@@ -243,3 +243,46 @@ func TestRescheduleFallsBackToSmallerMicroBatch(t *testing.T) {
 		t.Fatal("fallback must produce a usable schedule")
 	}
 }
+
+func TestMonitorHostileAndWarmupInputs(t *testing.T) {
+	m := &Monitor{}
+	// Negative keys (an unmapped stage after a migration) and non-positive
+	// measurements carry no signal and must never trigger or panic.
+	if dev, slower := m.Check(-1, 0.5); dev != 0 || slower {
+		t.Fatalf("negative key triggered: dev=%v slower=%v", dev, slower)
+	}
+	if dev, slower := m.Check(2, 0); dev != 0 || slower {
+		t.Fatalf("zero measurement triggered: dev=%v slower=%v", dev, slower)
+	}
+	if dev, slower := m.Check(2, -3); dev != 0 || slower {
+		t.Fatalf("negative measurement triggered: dev=%v slower=%v", dev, slower)
+	}
+	if h := m.History(-1); h != 0 {
+		t.Fatalf("negative key has history %v", h)
+	}
+	m.Forget(-1) // must not panic
+	// The first real measurement only seeds the history.
+	if dev, slower := m.Check(2, 0.5); dev != 0 || slower {
+		t.Fatalf("warm-up measurement triggered: dev=%v slower=%v", dev, slower)
+	}
+	if h := m.History(2); h != 0.5 {
+		t.Fatalf("history not seeded: %v", h)
+	}
+}
+
+func TestMonitorForgetReseeds(t *testing.T) {
+	m := &Monitor{}
+	m.Check(0, 1.0)
+	if dev, _ := m.Check(0, 2.0); dev != 1.0 {
+		t.Fatalf("deviation before forget: %v", dev)
+	}
+	// After a migration the key's workload changed: Forget voids the
+	// history so the next measurement re-seeds instead of deviating.
+	m.Forget(0)
+	if h := m.History(0); h != 0 {
+		t.Fatalf("history survived Forget: %v", h)
+	}
+	if dev, slower := m.Check(0, 5.0); dev != 0 || slower {
+		t.Fatalf("re-seed measurement triggered: dev=%v slower=%v", dev, slower)
+	}
+}

@@ -1,0 +1,627 @@
+// Package executor turns adaptive's analytical migration plans into
+// executed recovery on the live distributed pipeline. Where
+// adaptive.Reschedule computes what *should* move, the Executor makes it
+// happen: it trains through runtime.DistPipeline, watches for link faults,
+// dead stage devices and measured slowdowns (the adaptive.Monitor deviation
+// rule over real per-stage step times), and on trouble runs the paper's
+// §4.4 state machine for real —
+//
+//	detect → abort round → re-partition survivors → ship weights → resume
+//
+// Weights only ever commit at round boundaries (runtime's abort guarantee),
+// so an aborted round can be replayed on the healed pipeline and the model
+// stays bit-identical to a fault-free run on the same final partition. The
+// migration itself is executed, not simulated: every moved weight segment
+// is gob-serialized, crosses a fresh net.Conn, and is installed on the
+// receiving side, with bytes and wall time measured against the analytical
+// plan (adaptive.PlanMigration).
+package executor
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"ecofl/internal/adaptive"
+	"ecofl/internal/device"
+	"ecofl/internal/flnet"
+	"ecofl/internal/metrics"
+	"ecofl/internal/model"
+	"ecofl/internal/nn"
+	"ecofl/internal/obs"
+	"ecofl/internal/partition"
+	"ecofl/internal/pipeline"
+	"ecofl/internal/pipeline/runtime"
+	"ecofl/internal/simnet"
+	"ecofl/internal/tensor"
+)
+
+var (
+	healsTotal = metrics.GetCounter("ecofl_executor_heals_total",
+		"abort→repartition→resume cycles executed by the healing executor")
+	migrationsTotal = metrics.GetCounter("ecofl_executor_migrations_total",
+		"executed migrations (weight segments shipped over links)")
+	migratedBytesTotal = metrics.GetCounter("ecofl_executor_migrated_bytes_total",
+		"weight bytes shipped during executed migrations")
+	detectSeconds = metrics.GetHistogram("ecofl_executor_detect_seconds",
+		"fault occurrence to full round unwind", nil)
+	migrationSeconds = metrics.GetHistogram("ecofl_executor_migration_seconds",
+		"executed migration duration (weight shipping + pipeline rebuild)", nil)
+)
+
+// ErrNoSurvivors is returned when every pipeline device has been killed.
+var ErrNoSurvivors = errors.New("executor: no surviving devices")
+
+// Config describes a self-healing pipeline deployment.
+type Config struct {
+	// Trainable is the model; its Blocks align 1-to-1 with Spec layers.
+	Trainable *model.Trainable
+	// Devices is the candidate fleet in pipeline order. The executor clones
+	// them (it mutates load factors from measurements).
+	Devices []*device.Device
+	// MicroBatchSize is the per-micro-batch sample count.
+	MicroBatchSize int
+	// Links produces the pipeline's neighbour connections (default
+	// runtime.PipeLinks). Migration traffic uses the same factory.
+	Links runtime.Dialer
+	// LinkOptions harden the links (deadlines, heartbeats, dial retries).
+	LinkOptions runtime.LinkOptions
+	// Chaos, when non-nil, injects link faults: chaos(i) is the shared
+	// fault state of pipeline link i, surviving re-dials. Migration links
+	// are fresh and clean (the portal re-establishes them out of band).
+	Chaos func(link int) *simnet.Chaos
+	// Monitor detects measured per-stage step-time deviations (§4.4). Nil
+	// means a default Monitor (25% threshold).
+	Monitor *adaptive.Monitor
+	// MaxHeals bounds recovery attempts per round before giving up
+	// (default 8; negative disables healing).
+	MaxHeals int
+	// BackoffBase/BackoffMax pace retries between heal attempts under the
+	// flnet backoff policy (defaults 10ms/400ms). JitterSeed seeds the
+	// jitter stream (0 derives one).
+	BackoffBase, BackoffMax time.Duration
+	JitterSeed              int64
+	// Trace, when non-nil, records abort/migration spans.
+	Trace *obs.Trace
+}
+
+// Stats counts what the executor did; read them via Executor.Stats.
+type Stats struct {
+	// Rounds is the number of committed sync-rounds.
+	Rounds int
+	// Aborts counts rounds that failed mid-flight and were rolled back.
+	Aborts int
+	// Heals counts abort→recover cycles (transient retries and failovers).
+	Heals int
+	// Migrations counts executed weight migrations (failover or
+	// monitor-triggered rebalancing).
+	Migrations int
+	// MigratedBytes is the executed weight volume shipped over links.
+	MigratedBytes int64
+	// PlannedMoveBytes is what adaptive.PlanMigration predicted for the
+	// same layout changes — the analytic/executed comparison.
+	PlannedMoveBytes float64
+	// LastDetectLatency is the wall time from fault to full round unwind.
+	LastDetectLatency time.Duration
+	// LastMigrationTime is the wall time of the last executed migration
+	// (weight shipping plus pipeline rebuild).
+	LastMigrationTime time.Duration
+}
+
+// Executor drives self-healing distributed training.
+type Executor struct {
+	cfg     Config
+	spec    *model.Spec
+	devs    []*device.Device // cloned fleet, pipeline order
+	monitor *adaptive.Monitor
+	rng     *rand.Rand
+
+	mu       sync.Mutex
+	alive    []bool
+	stages   []pipeline.Stage // current plan over the alive devices
+	pipe     *runtime.DistPipeline
+	delays   []time.Duration // injected per-device external load
+	baseStep []float64       // first measured per-micro step time per device
+	killAt   map[int]int     // round → device index to kill at round start
+	taps     map[int][]net.Conn
+	round    int
+	stats    Stats
+}
+
+// New validates the config, partitions the model over the fleet with the
+// DP partitioner and builds the initial pipeline.
+func New(cfg Config) (*Executor, error) {
+	if cfg.Trainable == nil || len(cfg.Devices) == 0 {
+		return nil, errors.New("executor: need a Trainable and at least one device")
+	}
+	if cfg.MicroBatchSize <= 0 {
+		return nil, errors.New("executor: micro-batch size must be positive")
+	}
+	if cfg.Links == nil {
+		cfg.Links = runtime.PipeLinks()
+	}
+	if cfg.Monitor == nil {
+		cfg.Monitor = &adaptive.Monitor{}
+	}
+	if cfg.MaxHeals == 0 {
+		cfg.MaxHeals = 8
+	}
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = 10 * time.Millisecond
+	}
+	if cfg.BackoffMax == 0 {
+		cfg.BackoffMax = 400 * time.Millisecond
+	}
+	if cfg.JitterSeed == 0 {
+		cfg.JitterSeed = int64(len(cfg.Devices)) + 7
+	}
+	e := &Executor{
+		cfg:      cfg,
+		spec:     cfg.Trainable.Spec,
+		devs:     device.CloneAll(cfg.Devices),
+		monitor:  cfg.Monitor,
+		rng:      rand.New(rand.NewSource(cfg.JitterSeed)),
+		alive:    make([]bool, len(cfg.Devices)),
+		delays:   make([]time.Duration, len(cfg.Devices)),
+		baseStep: make([]float64, len(cfg.Devices)),
+		killAt:   map[int]int{},
+		taps:     map[int][]net.Conn{},
+	}
+	for i := range e.alive {
+		e.alive[i] = true
+	}
+	if err := e.rebuildLocked(e.aliveDevicesLocked()); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// aliveDevicesLocked returns the surviving devices in pipeline order.
+func (e *Executor) aliveDevicesLocked() []*device.Device {
+	var out []*device.Device
+	for i, d := range e.devs {
+		if e.alive[i] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// devIndex maps a device pointer back to its fleet position.
+func (e *Executor) devIndex(d *device.Device) int {
+	for i, dd := range e.devs {
+		if dd == d {
+			return i
+		}
+	}
+	return -1
+}
+
+// rebuildLocked plans a partition over devs and swaps in a fresh pipeline.
+// Caller holds e.mu.
+func (e *Executor) rebuildLocked(devs []*device.Device) error {
+	if len(devs) == 0 {
+		return ErrNoSurvivors
+	}
+	plan, err := partition.DynamicProgrammingBatch(e.spec, devs, e.cfg.MicroBatchSize)
+	if err != nil {
+		return fmt.Errorf("executor: repartition over %d devices: %w", len(devs), err)
+	}
+	return e.installPlanLocked(plan.Stages)
+}
+
+// installPlanLocked builds the DistPipeline for a stage layout. Caller
+// holds e.mu.
+func (e *Executor) installPlanLocked(stages []pipeline.Stage) error {
+	cuts := make([]int, 0, len(stages)-1)
+	for _, s := range stages[:len(stages)-1] {
+		cuts = append(cuts, s.To)
+	}
+	pipe, err := runtime.NewDistributed(e.cfg.Trainable, cuts, e.dialer())
+	if err != nil {
+		return err
+	}
+	pipe.SetLinkOptions(e.cfg.LinkOptions)
+	if e.cfg.Trace != nil {
+		pipe.SetTrace(e.cfg.Trace)
+	}
+	e.stages = stages
+	e.pipe = pipe
+	for s, st := range stages {
+		if di := e.devIndex(st.Device); di >= 0 {
+			pipe.SetStageDelay(s, e.delays[di])
+		}
+	}
+	return nil
+}
+
+// dialer wraps the base links with chaos injection, the dead-device kill
+// switch, and a tap that lets KillDevice sever a stage's links mid-round.
+func (e *Executor) dialer() runtime.Dialer {
+	base := e.cfg.Links
+	if e.cfg.Chaos != nil {
+		base = runtime.ChaosLinks(base, e.cfg.Chaos)
+	}
+	return func(i int) (net.Conn, net.Conn, error) {
+		up, down, err := base(i)
+		if err != nil {
+			return nil, nil, err
+		}
+		e.mu.Lock()
+		dead := e.linkDeadLocked(i)
+		if !dead {
+			e.taps[i] = []net.Conn{up, down}
+		}
+		e.mu.Unlock()
+		if dead {
+			// The link touches a dead device: hand the round endpoints that
+			// fail on first use, so detection runs through the live abort
+			// path rather than a dial error.
+			return &downedConn{Conn: up}, &downedConn{Conn: down}, nil
+		}
+		return up, down, nil
+	}
+}
+
+// linkDeadLocked reports whether pipeline link i touches a dead device
+// under the current (possibly stale) plan. Caller holds e.mu.
+func (e *Executor) linkDeadLocked(i int) bool {
+	for _, s := range []int{i, i + 1} {
+		if s >= 0 && s < len(e.stages) {
+			if di := e.devIndex(e.stages[s].Device); di >= 0 && !e.alive[di] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// downedConn is an endpoint of a link whose device has died: every
+// operation fails immediately.
+type downedConn struct{ net.Conn }
+
+var errDeviceDown = errors.New("executor: stage device is down")
+
+func (c *downedConn) Read([]byte) (int, error)  { return 0, errDeviceDown }
+func (c *downedConn) Write([]byte) (int, error) { return 0, errDeviceDown }
+
+// KillDevice marks fleet device i dead and severs its stage's live links,
+// aborting any in-flight round. The next TrainRound heals: survivors are
+// re-partitioned and the dead device's layers migrate to them. Killing an
+// already-dead device is a no-op.
+func (e *Executor) KillDevice(i int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if i < 0 || i >= len(e.devs) || !e.alive[i] {
+		return
+	}
+	e.alive[i] = false
+	// Sever the dead stage's links mid-round, if it is part of the plan.
+	for s, st := range e.stages {
+		if e.devIndex(st.Device) == i {
+			for _, li := range []int{s - 1, s} {
+				for _, c := range e.taps[li] {
+					c.Close()
+				}
+			}
+		}
+	}
+}
+
+// ScheduleKill arranges for device dev to die at the start of round r
+// (0-based, counting committed rounds) — the deterministic failure injector
+// the chaos soak uses. The doomed round still executes against the stale
+// partition and aborts live, exercising detection end-to-end.
+func (e *Executor) ScheduleKill(r, dev int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.killAt[r] = dev
+}
+
+// SetDeviceDelay injects an external-load delay on fleet device i: every
+// forward/backward op of the stage it runs sleeps this long extra. The
+// monitor sees the measured slowdown and rebalances (§4.4). Zero clears it.
+func (e *Executor) SetDeviceDelay(i int, d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if i < 0 || i >= len(e.devs) {
+		return
+	}
+	e.delays[i] = d
+	for s, st := range e.stages {
+		if e.devIndex(st.Device) == i {
+			e.pipe.SetStageDelay(s, d)
+		}
+	}
+}
+
+// Stats returns a snapshot of the executor's counters.
+func (e *Executor) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Stages returns the current stage layout (device + layer range per stage).
+func (e *Executor) Stages() []pipeline.Stage {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]pipeline.Stage(nil), e.stages...)
+}
+
+// Network returns the trained network (shared parameters).
+func (e *Executor) Network() *nn.Network { return e.cfg.Trainable.Network() }
+
+// Rounds returns the number of committed sync-rounds.
+func (e *Executor) Rounds() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.round
+}
+
+// TrainRound runs one sync-round to commit, healing as needed: a fault
+// aborts the round (no weights committed), the executor re-partitions the
+// survivors if a device died, ships moved weight segments over fresh links,
+// and replays the round. Returns the committed mean loss.
+func (e *Executor) TrainRound(x *tensor.Tensor, labels []int, opt *nn.SGD) (float64, error) {
+	e.mu.Lock()
+	if dev, ok := e.killAt[e.round]; ok {
+		delete(e.killAt, e.round)
+		e.mu.Unlock()
+		e.KillDevice(dev)
+		e.mu.Lock()
+	}
+	pipe := e.pipe
+	e.mu.Unlock()
+
+	for attempt := 0; ; attempt++ {
+		start := time.Now()
+		loss, err := pipe.TrainSyncRound(x, labels, e.cfg.MicroBatchSize, opt)
+		if err == nil {
+			e.mu.Lock()
+			e.round++
+			e.stats.Rounds++
+			e.mu.Unlock()
+			e.observe(x.Rows())
+			return loss, nil
+		}
+		detect := time.Since(start)
+		detectSeconds.Observe(detect.Seconds())
+		e.mu.Lock()
+		e.stats.Aborts++
+		e.stats.LastDetectLatency = detect
+		e.mu.Unlock()
+		if e.cfg.MaxHeals < 0 || attempt >= e.cfg.MaxHeals {
+			return 0, fmt.Errorf("executor: round %d unrecoverable after %d heal attempts: %w", e.round, attempt, err)
+		}
+		time.Sleep(flnet.BackoffDelay(attempt+1, e.cfg.BackoffBase, e.cfg.BackoffMax, e.rng))
+		if herr := e.heal(); herr != nil {
+			return 0, herr
+		}
+		e.mu.Lock()
+		pipe = e.pipe
+		e.mu.Unlock()
+	}
+}
+
+// heal recovers from an aborted round. If the current plan includes a dead
+// device, survivors are re-partitioned and weights migrate; for transient
+// link faults the plan stands and the next attempt simply dials fresh links
+// (through the same chaos state, so open partition windows persist).
+func (e *Executor) heal() error {
+	sp := e.cfg.Trace.Begin(0, 0, "heal", "executor")
+	defer sp.End()
+	e.mu.Lock()
+	e.stats.Heals++
+	healsTotal.Inc()
+	deadInPlan := false
+	for _, st := range e.stages {
+		if di := e.devIndex(st.Device); di >= 0 && !e.alive[di] {
+			deadInPlan = true
+			break
+		}
+	}
+	if !deadInPlan {
+		e.mu.Unlock()
+		return nil // transient: fresh links on the next round attempt
+	}
+	survivors := e.aliveDevicesLocked()
+	e.mu.Unlock()
+	return e.migrateTo(survivors)
+}
+
+// migrateTo re-partitions the model over devs, executes the weight
+// migration for every layer whose owner changed, and swaps in the rebuilt
+// pipeline. Weight shipping is real: each moved segment crosses a fresh
+// connection as a gob frame and is installed on arrival.
+func (e *Executor) migrateTo(devs []*device.Device) error {
+	if len(devs) == 0 {
+		return ErrNoSurvivors
+	}
+	sp := e.cfg.Trace.Begin(0, 0, "migrate", "executor")
+	defer sp.End()
+	start := time.Now()
+	plan, err := partition.DynamicProgrammingBatch(e.spec, devs, e.cfg.MicroBatchSize)
+	if err != nil {
+		return fmt.Errorf("executor: repartition over %d devices: %w", len(devs), err)
+	}
+	e.mu.Lock()
+	oldStages := append([]pipeline.Stage(nil), e.stages...)
+	e.mu.Unlock()
+
+	moved, err := movedRanges(e.spec, oldStages, plan.Stages)
+	if err != nil {
+		return err
+	}
+	var shipped int64
+	if len(moved) > 0 {
+		if shipped, err = e.shipSegments(moved); err != nil {
+			return fmt.Errorf("executor: weight migration: %w", err)
+		}
+	}
+	// The analytic counterpart for the executed move (restart overhead 0:
+	// the rebuild below is measured, not modelled).
+	var plannedBytes float64
+	if mig, perr := adaptive.PlanMigration(e.spec, oldStages, plan.Stages, 0); perr == nil {
+		plannedBytes = mig.MovedParamBytes
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.installPlanLocked(plan.Stages); err != nil {
+		return err
+	}
+	dur := time.Since(start)
+	e.stats.Migrations++
+	e.stats.MigratedBytes += shipped
+	e.stats.PlannedMoveBytes += plannedBytes
+	e.stats.LastMigrationTime = dur
+	migrationsTotal.Inc()
+	migratedBytesTotal.Add(shipped)
+	migrationSeconds.Observe(dur.Seconds())
+	// Stage workloads changed everywhere: old step-time history is void.
+	for i := range e.devs {
+		e.monitor.Forget(i)
+		e.baseStep[i] = 0
+	}
+	return nil
+}
+
+// movedRange is a contiguous block range whose owner changed.
+type movedRange struct{ from, to int }
+
+// movedRanges diffs two stage layouts into the contiguous layer ranges that
+// must ship to a new device. Layers owned by a device no longer in the new
+// layout (it died) are recovered from the round-boundary model state the
+// portal holds — exactly what makes commit-at-round-boundaries the
+// checkpointing discipline of this pipeline.
+func movedRanges(spec *model.Spec, old, new []pipeline.Stage) ([]movedRange, error) {
+	L := spec.NumLayers()
+	oldOwner, err := partition.Assignment(old, L)
+	if err != nil {
+		return nil, err
+	}
+	newOwner, err := partition.Assignment(new, L)
+	if err != nil {
+		return nil, err
+	}
+	var out []movedRange
+	for l := 0; l < L; l++ {
+		if old[oldOwner[l]].Device == new[newOwner[l]].Device {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].to == l {
+			out[n-1].to = l + 1
+		} else {
+			out = append(out, movedRange{l, l + 1})
+		}
+	}
+	return out, nil
+}
+
+// segmentMsg is the wire format of one migrated weight segment.
+type segmentMsg struct {
+	From, To int
+	Data     []float64
+}
+
+// shipSegments executes the migration: for every moved range, the portal
+// serializes the segment's weights from the last committed round boundary,
+// sends them over a fresh connection, and the receiving side validates and
+// installs them. Returns the shipped byte volume.
+func (e *Executor) shipSegments(moved []movedRange) (int64, error) {
+	up, down, err := e.cfg.Links(0)
+	if err != nil {
+		return 0, err
+	}
+	defer up.Close()
+	defer down.Close()
+
+	sendErr := make(chan error, 1)
+	go func() {
+		enc := gob.NewEncoder(up)
+		for _, r := range moved {
+			seg := e.cfg.Trainable.SegmentNet(r.from, r.to)
+			if err := enc.Encode(&segmentMsg{From: r.from, To: r.to, Data: seg.FlatWeights()}); err != nil {
+				sendErr <- err
+				return
+			}
+		}
+		sendErr <- nil
+	}()
+
+	var shipped int64
+	dec := gob.NewDecoder(down)
+	for _, r := range moved {
+		var msg segmentMsg
+		if err := dec.Decode(&msg); err != nil {
+			return shipped, err
+		}
+		if msg.From != r.from || msg.To != r.to {
+			return shipped, fmt.Errorf("segment [%d,%d) arrived, expected [%d,%d)", msg.From, msg.To, r.from, r.to)
+		}
+		seg := e.cfg.Trainable.SegmentNet(msg.From, msg.To)
+		if want := seg.NumParams(); len(msg.Data) != want {
+			return shipped, fmt.Errorf("segment [%d,%d): %d weights, expected %d", msg.From, msg.To, len(msg.Data), want)
+		}
+		seg.SetFlatWeights(msg.Data)
+		shipped += int64(len(msg.Data) * 8)
+	}
+	return shipped, <-sendErr
+}
+
+// observe feeds the monitor with the round's measured per-stage step times
+// and rebalances proactively when a stage deviates slower than its history
+// beyond the threshold (§4.4's detection rule on live measurements).
+func (e *Executor) observe(rows int) {
+	e.mu.Lock()
+	st := e.pipe.LastRoundStats()
+	stages := append([]pipeline.Stage(nil), e.stages...)
+	e.mu.Unlock()
+	if st == nil || st.Aborted {
+		return
+	}
+	m := (rows + e.cfg.MicroBatchSize - 1) / e.cfg.MicroBatchSize
+	if m == 0 {
+		return
+	}
+	trigger := false
+	for s, ct := range st.ComputeTime {
+		if s >= len(stages) {
+			break
+		}
+		di := e.devIndex(stages[s].Device)
+		if di < 0 {
+			continue
+		}
+		perMicro := ct.Seconds() / float64(m)
+		dev, slower := e.monitor.Check(di, perMicro)
+		e.mu.Lock()
+		if e.baseStep[di] == 0 {
+			e.baseStep[di] = perMicro
+		} else if perMicro > 0 {
+			e.devs[di].ApplyMeasuredSlowdown(perMicro / e.baseStep[di])
+		}
+		e.mu.Unlock()
+		if slower && e.monitor.Exceeds(dev) {
+			trigger = true
+		}
+	}
+	if !trigger {
+		return
+	}
+	e.mu.Lock()
+	survivors := e.aliveDevicesLocked()
+	e.mu.Unlock()
+	// Rebalance on the measured rates; if the partitioner keeps the same
+	// layout the migration is a no-op diff and ships nothing.
+	if err := e.migrateTo(survivors); err != nil {
+		// A failed proactive rebalance is not fatal: training continues on
+		// the current (slower) layout and the next deviation retries.
+		return
+	}
+}

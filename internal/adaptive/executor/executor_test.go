@@ -1,0 +1,343 @@
+package executor
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"ecofl/internal/device"
+	"ecofl/internal/model"
+	"ecofl/internal/nn"
+	"ecofl/internal/partition"
+	"ecofl/internal/pipeline/runtime"
+	"ecofl/internal/simnet"
+	"ecofl/internal/tensor"
+)
+
+func makeData(rng *rand.Rand, n, dim, classes int) (*tensor.Tensor, []int) {
+	x := tensor.New(n, dim)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		labels[i] = rng.Intn(classes)
+		for j := 0; j < dim; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return x, labels
+}
+
+func fleet() []*device.Device {
+	return []*device.Device{device.TX2N(), device.TX2Q(), device.NanoH()}
+}
+
+// trainRef trains an identically-seeded model for the same rounds on a
+// fault-free single-stage in-process pipeline — the bit-identity oracle
+// (1F1B-Sync gradient accumulation is partition-independent).
+func trainRef(t *testing.T, seed int64, rounds int, x *tensor.Tensor, labels []int, mbs int, lr float64) []float64 {
+	t.Helper()
+	tr := model.NewTrainableMLP(rand.New(rand.NewSource(seed)), "ref", x.Cols(), []int{14, 12, 10}, 4)
+	p, err := runtime.New(tr, nil)
+	if err != nil {
+		t.Fatalf("ref pipeline: %v", err)
+	}
+	opt := &nn.SGD{LR: lr}
+	for r := 0; r < rounds; r++ {
+		if _, err := p.TrainSyncRound(x, labels, mbs, opt); err != nil {
+			t.Fatalf("ref round %d: %v", r, err)
+		}
+	}
+	return tr.Network().FlatWeights()
+}
+
+func weightsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestKillFailoverBitIdentical kills two of three devices at scheduled
+// rounds; the executor must detect each death through the live abort path,
+// re-partition the survivors, execute the weight migration, and finish with
+// a model bit-identical to a fault-free run.
+func TestKillFailoverBitIdentical(t *testing.T) {
+	const seed, mbs, rounds, lr = 42, 6, 6, 0.05
+	rng := rand.New(rand.NewSource(7))
+	x, labels := makeData(rng, 24, 12, 4)
+
+	tr := model.NewTrainableMLP(rand.New(rand.NewSource(seed)), "ref", 12, []int{14, 12, 10}, 4)
+	exec, err := New(Config{
+		Trainable:      tr,
+		Devices:        fleet(),
+		MicroBatchSize: mbs,
+		LinkOptions:    runtime.LinkOptions{RecvTimeout: 2 * time.Second, DialRetries: 2},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	exec.ScheduleKill(2, 1) // mid-fleet device dies before round 2
+	exec.ScheduleKill(4, 0) // then the head device: single survivor
+
+	opt := &nn.SGD{LR: lr}
+	for r := 0; r < rounds; r++ {
+		if _, err := exec.TrainRound(x, labels, opt); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+	}
+
+	st := exec.Stats()
+	if st.Rounds != rounds {
+		t.Fatalf("committed %d rounds, want %d", st.Rounds, rounds)
+	}
+	if st.Aborts < 2 || st.Migrations < 2 {
+		t.Fatalf("expected >=2 aborts and >=2 migrations, got %+v", st)
+	}
+	if st.MigratedBytes == 0 {
+		t.Fatalf("executed migration shipped no bytes: %+v", st)
+	}
+	if st.LastDetectLatency <= 0 || st.LastMigrationTime <= 0 {
+		t.Fatalf("missing detection/migration timings: %+v", st)
+	}
+	if got := len(exec.Stages()); got != 1 {
+		t.Fatalf("expected 1 surviving stage, got %d", got)
+	}
+	want := trainRef(t, seed, rounds, x, labels, mbs, lr)
+	if !weightsEqual(exec.Network().FlatWeights(), want) {
+		t.Fatal("recovered model is not bit-identical to the fault-free run")
+	}
+}
+
+// chaosPerLink memoizes one shared Chaos per link index so the fault
+// schedule and open partition windows survive re-dials.
+func chaosPerLink(mode simnet.FaultMode, seed int64, prob float64) func(int) *simnet.Chaos {
+	var mu sync.Mutex
+	links := map[int]*simnet.Chaos{}
+	return func(i int) *simnet.Chaos {
+		mu.Lock()
+		defer mu.Unlock()
+		if c, ok := links[i]; ok {
+			return c
+		}
+		c := simnet.NewChaos(simnet.FaultPlan{
+			Seed:      seed + int64(i),
+			Mode:      mode,
+			Prob:      prob,
+			After:     4,
+			Stall:     400 * time.Millisecond,
+			Partition: 120 * time.Millisecond,
+		})
+		links[i] = c
+		return c
+	}
+}
+
+// TestChaosSoak trains to completion under every fault mode plus a killed
+// stage device, and checks the final model stays bit-identical to the
+// fault-free oracle — the PR's acceptance scenario.
+func TestChaosSoak(t *testing.T) {
+	modes := []simnet.FaultMode{
+		simnet.FaultDrop, simnet.FaultStall, simnet.FaultBlackHole,
+		simnet.FaultSever, simnet.FaultPartition,
+	}
+	const seed, mbs, lr = 99, 6, 0.05
+	rounds := 6
+	if testing.Short() {
+		rounds = 3
+	}
+	rng := rand.New(rand.NewSource(11))
+	x, labels := makeData(rng, 24, 12, 4)
+	want := trainRef(t, seed, rounds, x, labels, mbs, lr)
+
+	for _, mode := range modes {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			tr := model.NewTrainableMLP(rand.New(rand.NewSource(seed)), "ref", 12, []int{14, 12, 10}, 4)
+			exec, err := New(Config{
+				Trainable:      tr,
+				Devices:        fleet(),
+				MicroBatchSize: mbs,
+				Chaos:          chaosPerLink(mode, 1000+int64(mode), 0.03),
+				MaxHeals:       14,
+				LinkOptions: runtime.LinkOptions{
+					SendTimeout: 300 * time.Millisecond,
+					RecvTimeout: 250 * time.Millisecond,
+					RecvBudget:  1500 * time.Millisecond,
+					Heartbeat:   50 * time.Millisecond,
+					DialRetries: 4,
+					JitterSeed:  int64(mode) + 1,
+				},
+			})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			exec.ScheduleKill(rounds/2, 1)
+			opt := &nn.SGD{LR: lr}
+			for r := 0; r < rounds; r++ {
+				if _, err := exec.TrainRound(x, labels, opt); err != nil {
+					t.Fatalf("round %d under %s: %v", r, mode, err)
+				}
+			}
+			st := exec.Stats()
+			if st.Rounds != rounds || st.Aborts < 1 || st.Migrations < 1 {
+				t.Fatalf("under %s: %+v", mode, st)
+			}
+			if !weightsEqual(exec.Network().FlatWeights(), want) {
+				t.Fatalf("under %s: recovered model diverged from fault-free run", mode)
+			}
+		})
+	}
+}
+
+// TestMonitorTriggeredRebalance injects an external-load delay on the
+// device carrying the most layers; the monitor must see the measured
+// per-stage slowdown and the executor must rebalance layers away from it.
+func TestMonitorTriggeredRebalance(t *testing.T) {
+	if raceEnabled {
+		// The DP model's comm term dominates this tiny MLP's stage times, so
+		// a cut only moves once the measured slowdown ratio is ~4000×. Race
+		// instrumentation inflates the baseline step time roughly tenfold,
+		// which compresses the achievable ratio below that threshold — the
+		// monitor fires but the repartition keeps the layout. The
+		// race-relevant machinery (abort, migration, link teardown) is
+		// exercised under -race by TestChaosSoak and
+		// TestKillFailoverBitIdentical; this test checks the wall-clock
+		// trigger math, which only holds uninstrumented.
+		t.Skip("measured-ratio threshold unreachable under race instrumentation")
+	}
+	const seed, mbs, lr = 5, 6, 0.05
+	rng := rand.New(rand.NewSource(3))
+	x, labels := makeData(rng, 24, 12, 4)
+	tr := model.NewTrainableMLP(rand.New(rand.NewSource(seed)), "ref", 12, []int{14, 12, 10}, 4)
+	exec, err := New(Config{Trainable: tr, Devices: fleet(), MicroBatchSize: mbs})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	opt := &nn.SGD{LR: lr}
+	// Warm-up: seed the monitor history and the baseline step times.
+	for r := 0; r < 3; r++ {
+		if _, err := exec.TrainRound(x, labels, opt); err != nil {
+			t.Fatalf("warm-up round %d: %v", r, err)
+		}
+	}
+	// Find the device carrying the most layers and load it down.
+	stages := exec.Stages()
+	loaded, width := 0, 0
+	for s, st := range stages {
+		if w := st.To - st.From; w > width {
+			width = w
+			loaded = s
+		}
+	}
+	loadedDev := -1
+	for i := range fleet() {
+		if exec.devs[i] == stages[loaded].Device {
+			loadedDev = i
+		}
+	}
+	if loadedDev < 0 {
+		t.Fatal("could not map loaded stage to a fleet device")
+	}
+	// The delay must be heavy enough that the measured slowdown ratio drops
+	// the device's modelled rate below the point where compute, not link
+	// bandwidth, is its stage's bottleneck — otherwise the partitioner
+	// rightly keeps the layout. Assert on the first round whose layout
+	// shrinks the loaded stage: after a migration the monitor re-baselines
+	// with the load included, so later noise can legitimately rebalance
+	// again.
+	exec.SetDeviceDelay(loadedDev, 50*time.Millisecond)
+	before := exec.Stats().Migrations
+	for r := 0; r < 6; r++ {
+		if _, err := exec.TrainRound(x, labels, opt); err != nil {
+			t.Fatalf("loaded round %d: %v", r, err)
+		}
+		shrunk := false
+		for _, s := range exec.Stages() {
+			if s.Device == exec.devs[loadedDev] && s.To-s.From < width {
+				shrunk = true
+			}
+		}
+		if shrunk {
+			if got := exec.Stats(); got.Migrations <= before || got.MigratedBytes == 0 {
+				t.Fatalf("layout changed without an executed migration: %+v", got)
+			}
+			return
+		}
+	}
+	t.Fatalf("monitor never rebalanced layers off the loaded device: %+v", exec.Stats())
+}
+
+// TestNoSurvivors verifies the terminal failure: killing every device makes
+// TrainRound return ErrNoSurvivors instead of retrying forever.
+func TestNoSurvivors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, labels := makeData(rng, 12, 8, 3)
+	tr := model.NewTrainableMLP(rand.New(rand.NewSource(2)), "tiny", 8, []int{10}, 3)
+	exec, err := New(Config{Trainable: tr, Devices: fleet()[:2], MicroBatchSize: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	exec.KillDevice(0)
+	exec.KillDevice(1)
+	if _, err := exec.TrainRound(x, labels, &nn.SGD{LR: 0.1}); !errors.Is(err, ErrNoSurvivors) {
+		t.Fatalf("want ErrNoSurvivors, got %v", err)
+	}
+}
+
+// TestConfigValidation covers the constructor's rejection paths.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	tr := model.NewTrainableMLP(rand.New(rand.NewSource(2)), "tiny", 8, []int{10}, 3)
+	if _, err := New(Config{Trainable: tr, Devices: fleet()}); err == nil {
+		t.Fatal("zero micro-batch size accepted")
+	}
+}
+
+// TestMovedRangesDiff checks the layout diff used by the migration
+// executor: only layers whose owning device changed are shipped, as
+// contiguous runs.
+func TestMovedRangesDiff(t *testing.T) {
+	tr := model.NewTrainableMLP(rand.New(rand.NewSource(9)), "diff", 12, []int{14, 12, 10}, 4)
+	devs := fleet()
+	old, err := partition.DynamicProgrammingBatch(tr.Spec, devs, 6)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	same, err := movedRanges(tr.Spec, old.Stages, old.Stages)
+	if err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if len(same) != 0 {
+		t.Fatalf("identical layouts moved %v", same)
+	}
+	newPlan, err := partition.DynamicProgrammingBatch(tr.Spec, devs[:2], 6)
+	if err != nil {
+		t.Fatalf("partition survivors: %v", err)
+	}
+	moved, err := movedRanges(tr.Spec, old.Stages, newPlan.Stages)
+	if err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if len(moved) == 0 {
+		t.Fatal("device removal moved no layers")
+	}
+	total := 0
+	for _, r := range moved {
+		if r.to <= r.from {
+			t.Fatalf("empty range %+v", r)
+		}
+		total += r.to - r.from
+	}
+	if total > tr.Spec.NumLayers() {
+		t.Fatalf("moved %d of %d layers", total, tr.Spec.NumLayers())
+	}
+}

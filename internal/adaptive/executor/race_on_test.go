@@ -1,0 +1,5 @@
+//go:build race
+
+package executor
+
+const raceEnabled = true

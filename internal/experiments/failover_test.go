@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ecofl/internal/simnet"
+)
+
+func TestLiveFailoverSmoke(t *testing.T) {
+	rounds := 6
+	if testing.Short() {
+		rounds = 3
+	}
+	cfg := &LiveFailover{
+		Seed:      7,
+		Rounds:    rounds,
+		FailRound: rounds / 2,
+		// Kill the mid-fleet device under severed-link chaos — the report
+		// must show an executed migration and a bit-identical recovery.
+		FailDevice: 1,
+		Chaos:      simnet.FaultSever,
+		ChaosProb:  0.02,
+	}
+	rep, err := cfg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Rounds != rounds || rep.Stats.Aborts < 1 || rep.Stats.Migrations < 1 {
+		t.Fatalf("unexpected stats: %+v", rep.Stats)
+	}
+	if !rep.BitIdentical {
+		t.Fatal("recovered model diverged from the fault-free oracle")
+	}
+	if rep.Stats.MigratedBytes == 0 || rep.Stats.PlannedMoveBytes == 0 {
+		t.Fatalf("migration accounting empty: %+v", rep.Stats)
+	}
+	var b strings.Builder
+	PrintFailover(&b, rep)
+	out := b.String()
+	for _, want := range []string{"bit-identical to fault-free run: true", "executed migrations", "detect latency"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

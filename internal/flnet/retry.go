@@ -124,14 +124,22 @@ func (c *Client) reconnectLocked() error {
 	return nil
 }
 
+// BackoffDelay is the transport's retry pacing policy, exported so other
+// network layers (the pipeline link dialer, the healing executor) back off
+// identically: attempt n (1-based) waits base·2^(n−1) capped at max,
+// multiplied by a uniform jitter in [0.5, 1.5) drawn from rng.
+func BackoffDelay(attempt int, base, max time.Duration, rng *rand.Rand) time.Duration {
+	d := base << uint(attempt-1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	return time.Duration(float64(d) * (0.5 + rng.Float64()))
+}
+
 // backoff sleeps before retry attempt n (1-based) with exponential growth
 // and jitter, returning false if the client was closed while waiting.
 func (c *Client) backoff(attempt int) bool {
-	d := c.opts.BackoffBase << uint(attempt-1)
-	if d > c.opts.BackoffMax || d <= 0 {
-		d = c.opts.BackoffMax
-	}
-	d = time.Duration(float64(d) * (0.5 + c.rng.Float64()))
+	d := BackoffDelay(attempt, c.opts.BackoffBase, c.opts.BackoffMax, c.rng)
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {

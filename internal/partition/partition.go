@@ -34,6 +34,30 @@ func (p *Plan) Cuts() []int {
 	return cuts
 }
 
+// Assignment expands a stage layout into a per-layer owner: out[l] is the
+// index of the stage running layer l. It validates that the stages tile
+// [0, numLayers) contiguously — the invariant every partitioner output and
+// every migration source/target must satisfy. The migration executor diffs
+// two assignments to find the layer ranges whose owner changed.
+func Assignment(stages []pipeline.Stage, numLayers int) ([]int, error) {
+	out := make([]int, numLayers)
+	next := 0
+	for s, st := range stages {
+		if st.From != next || st.To <= st.From || st.To > numLayers {
+			return nil, fmt.Errorf("partition: stage %d covers [%d,%d), expected to start at layer %d of %d",
+				s, st.From, st.To, next, numLayers)
+		}
+		for l := st.From; l < st.To; l++ {
+			out[l] = s
+		}
+		next = st.To
+	}
+	if next != numLayers {
+		return nil, fmt.Errorf("partition: stages cover %d of %d layers", next, numLayers)
+	}
+	return out, nil
+}
+
 func linkBandwidth(a, b *device.Device) float64 {
 	return math.Min(a.LinkBandwidth, b.LinkBandwidth)
 }

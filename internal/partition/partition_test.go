@@ -219,3 +219,42 @@ func TestPermutationsCount(t *testing.T) {
 		seen[key] = true
 	}
 }
+
+func TestAssignmentExpandsAndValidates(t *testing.T) {
+	spec := model.EfficientNet(1)
+	devs := []*device.Device{big("a", 300e9), big("b", 150e9), big("c", 100e9)}
+	plan, err := DynamicProgramming(spec, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := Assignment(plan.Stages, spec.NumLayers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(owner) != spec.NumLayers() {
+		t.Fatalf("assignment covers %d of %d layers", len(owner), spec.NumLayers())
+	}
+	for l, s := range owner {
+		st := plan.Stages[s]
+		if l < st.From || l >= st.To {
+			t.Fatalf("layer %d assigned to stage %d covering [%d,%d)", l, s, st.From, st.To)
+		}
+	}
+	// Hostile layouts: a gap, an overlap, and a short cover must be rejected.
+	gap := []pipeline.Stage{{From: 0, To: 2}, {From: 3, To: spec.NumLayers()}}
+	if _, err := Assignment(gap, spec.NumLayers()); err == nil {
+		t.Fatal("gapped layout accepted")
+	}
+	overlap := []pipeline.Stage{{From: 0, To: 3}, {From: 2, To: spec.NumLayers()}}
+	if _, err := Assignment(overlap, spec.NumLayers()); err == nil {
+		t.Fatal("overlapping layout accepted")
+	}
+	short := []pipeline.Stage{{From: 0, To: spec.NumLayers() - 1}}
+	if _, err := Assignment(short, spec.NumLayers()); err == nil {
+		t.Fatal("short cover accepted")
+	}
+	empty := []pipeline.Stage{{From: 0, To: 0}, {From: 0, To: spec.NumLayers()}}
+	if _, err := Assignment(empty, spec.NumLayers()); err == nil {
+		t.Fatal("empty stage accepted")
+	}
+}

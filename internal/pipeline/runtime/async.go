@@ -18,6 +18,13 @@ import (
 // copy per in-flight micro-batch, the memory cost §2 criticizes, and (b)
 // loses gradient equivalence with sequential training. The tests demonstrate
 // both, which is exactly why Eco-FL adopts 1F1B-Sync instead.
+//
+// The async discipline also rules out the self-healing recovery that
+// DistPipeline and the executor build on 1F1B-Sync: because weights commit
+// after every micro-batch, a mid-round fault leaves the model somewhere
+// between round boundaries, so an aborted round cannot be discarded and
+// replayed — there is no clean state to replay from. Round-boundary-only
+// commits are what turn every sync-round into a free checkpoint.
 type AsyncPipeline struct {
 	trainable *model.Trainable
 	segments  []*nn.Network

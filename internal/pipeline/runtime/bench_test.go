@@ -1,0 +1,45 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"ecofl/internal/model"
+	"ecofl/internal/nn"
+)
+
+// The steady-state cost of link hardening: BenchmarkDistRound/bare runs a
+// distributed sync-round with the zero LinkOptions (no deadlines, no
+// heartbeats), BenchmarkDistRound/hardened with the full failover
+// configuration the healing executor deploys. The PR's acceptance bound is
+// <2% overhead on a fault-free round (see EXPERIMENTS.md).
+func benchDistRound(b *testing.B, opts LinkOptions) {
+	rng := rand.New(rand.NewSource(1))
+	tr := model.NewTrainableMLP(rng, "bench", 64, []int{96, 64}, 8)
+	dp, err := NewDistributed(tr, []int{1, 2}, PipeLinks())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dp.SetLinkOptions(opts)
+	x, labels := makeData(rng, 48, 64, 8)
+	opt := &nn.SGD{LR: 0.01}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dp.TrainSyncRound(x, labels, 8, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistRound(b *testing.B) {
+	b.Run("bare", func(b *testing.B) { benchDistRound(b, LinkOptions{}) })
+	b.Run("hardened", func(b *testing.B) {
+		benchDistRound(b, LinkOptions{
+			SendTimeout: 500 * time.Millisecond,
+			RecvTimeout: 500 * time.Millisecond,
+			Heartbeat:   100 * time.Millisecond,
+			DialRetries: 3,
+		})
+	})
+}

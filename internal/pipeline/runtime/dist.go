@@ -1,148 +1,44 @@
 package runtime
 
 import (
-	"encoding/gob"
 	"fmt"
+	"math/rand"
 	"net"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ecofl/internal/metrics"
 	"ecofl/internal/model"
 	"ecofl/internal/nn"
 	"ecofl/internal/obs"
-	"ecofl/internal/simnet"
 	"ecofl/internal/tensor"
 )
 
-var distRoundsTotal = metrics.GetCounter("ecofl_pipeline_dist_rounds_total",
-	"1F1B-Sync sync-rounds executed over real network links")
+var (
+	distRoundsTotal = metrics.GetCounter("ecofl_pipeline_dist_rounds_total",
+		"1F1B-Sync sync-rounds executed over real network links")
+	distAbortsTotal = metrics.GetCounter("ecofl_pipeline_dist_aborts_total",
+		"sync-rounds aborted mid-flight (link fault or stage failure); no weights were committed")
+)
 
 // This file is the distributed flavour of the pipeline runtime: stage
 // workers exchange activations and gradients as gob messages over real
 // net.Conn links (TCP between devices in a deployment; loopback or net.Pipe
 // in tests). Each worker sees only its model segment and its two neighbour
 // links — exactly the information a device in a smart-home pipeline has.
-
-// tensorMsg is the wire format for one micro-batch tensor.
-type tensorMsg struct {
-	Micro int
-	Shape []int
-	Data  []float64
-}
-
-// link is one duplex neighbour connection. Sends are asynchronous through a
-// writer goroutine: a stage can push its next activation while the neighbour
-// is still computing (the network buffers), which both matches real links
-// and avoids head-to-head write deadlocks on synchronous transports like
-// net.Pipe.
-type link struct {
-	out  chan tensorMsg
-	dec  *gob.Decoder
-	done chan struct{}
-	mu   sync.Mutex
-	werr error
-}
-
-func newLink(c net.Conn, depth int) *link {
-	l := &link{out: make(chan tensorMsg, depth), dec: gob.NewDecoder(c), done: make(chan struct{})}
-	enc := gob.NewEncoder(c)
-	go func() {
-		defer close(l.done)
-		for m := range l.out {
-			if err := enc.Encode(m); err != nil {
-				l.mu.Lock()
-				if l.werr == nil {
-					l.werr = err
-				}
-				l.mu.Unlock()
-				// Keep draining so senders never block on a dead link.
-			}
-		}
-	}()
-	return l
-}
-
-func (l *link) send(micro int, t *tensor.Tensor) error {
-	l.mu.Lock()
-	err := l.werr
-	l.mu.Unlock()
-	if err != nil {
-		return err
-	}
-	l.out <- tensorMsg{Micro: micro, Shape: t.Shape, Data: t.Data}
-	return nil
-}
-
-func (l *link) recv() (int, *tensor.Tensor, error) {
-	var m tensorMsg
-	if err := l.dec.Decode(&m); err != nil {
-		return 0, nil, err
-	}
-	return m.Micro, tensor.FromSlice(m.Data, m.Shape...), nil
-}
-
-// close flushes and stops the writer.
-func (l *link) close() {
-	close(l.out)
-	<-l.done
-}
-
-// Dialer produces the S−1 duplex connection pairs of a pipeline: for link i
-// it returns the upstream endpoint (held by stage i) and the downstream
-// endpoint (held by stage i+1).
-type Dialer func(i int) (up, down net.Conn, err error)
-
-// PipeLinks returns a Dialer backed by in-process net.Pipe connections.
-func PipeLinks() Dialer {
-	return func(int) (net.Conn, net.Conn, error) {
-		a, b := net.Pipe()
-		return a, b, nil
-	}
-}
-
-// ThrottledLinks wraps another Dialer so every link is paced to the given
-// bandwidth (bytes/s) with a per-message latency — the in-process stand-in
-// for the paper's 100 Mbps in-home wireless links (device.Bandwidth100Mbps).
-func ThrottledLinks(inner Dialer, bandwidth float64, latency time.Duration) Dialer {
-	return func(i int) (net.Conn, net.Conn, error) {
-		up, down, err := inner(i)
-		if err != nil {
-			return nil, nil, err
-		}
-		return simnet.Throttle(up, bandwidth, latency), simnet.Throttle(down, bandwidth, latency), nil
-	}
-}
-
-// TCPLinks returns a Dialer backed by real TCP loopback connections.
-func TCPLinks() Dialer {
-	return func(int) (net.Conn, net.Conn, error) {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return nil, nil, err
-		}
-		defer ln.Close()
-		type res struct {
-			c   net.Conn
-			err error
-		}
-		ch := make(chan res, 1)
-		go func() {
-			c, err := ln.Accept()
-			ch <- res{c, err}
-		}()
-		up, err := net.Dial("tcp", ln.Addr().String())
-		if err != nil {
-			return nil, nil, err
-		}
-		r := <-ch
-		if r.err != nil {
-			up.Close()
-			return nil, nil, r.err
-		}
-		return up, r.c, nil
-	}
-}
+//
+// Failure semantics: weights only ever change at round boundaries (the
+// single optimizer flush after all gradients accumulated). When any stage
+// errors mid-round — a link fault, a dead peer, a hostile frame — the round
+// aborts: every connection is force-closed so goroutines parked in recv or
+// a blocked write unwind immediately, the partial gradients are discarded
+// (the next round's ZeroGrads wipes them), and TrainSyncRound returns a
+// *RoundError without stepping the optimizer. A caller can therefore retry
+// the same mini-batch — on fresh links, or on a re-partitioned pipeline —
+// and obtain a model bit-identical to a fault-free run (the healing
+// executor in internal/adaptive/executor does exactly this).
 
 // DistPipeline trains a partitioned model with 1F1B-Sync over real network
 // links. It is behaviourally identical to Pipeline (gradient-equivalent to
@@ -150,6 +46,14 @@ func TCPLinks() Dialer {
 type DistPipeline struct {
 	inner *Pipeline
 	dial  Dialer
+	opts  LinkOptions
+	rng   *rand.Rand // jitter stream for link dial backoff
+
+	// delays holds per-stage injected compute delay in nanoseconds — the
+	// in-process stand-in for an external workload stealing the device
+	// (§4.4 load spikes). The sleep lands inside the measured compute time,
+	// so monitors observe the slowdown exactly as they would on hardware.
+	delays []atomic.Int64
 
 	// lastStats holds per-stage measurements of the most recent sync-round.
 	mu        sync.Mutex
@@ -160,10 +64,15 @@ type DistPipeline struct {
 // prototype-side counterpart of the simulator's schedule metrics, used to
 // cross-validate the two (see TestSimulatorMatchesPrototype).
 type RoundStats struct {
-	// WallTime is the end-to-end round duration.
+	// WallTime is the end-to-end round duration. For an aborted round this
+	// is the detection latency: fault occurrence to full unwind.
 	WallTime time.Duration
-	// ComputeTime is each stage's time spent inside Forward/Backward.
+	// ComputeTime is each stage's time spent inside Forward/Backward
+	// (including any injected external-load delay).
 	ComputeTime []time.Duration
+	// Aborted reports whether the round failed mid-flight; no weights were
+	// committed if so.
+	Aborted bool
 }
 
 // StageUtilization returns each stage's measured busy fraction.
@@ -174,6 +83,29 @@ func (r *RoundStats) StageUtilization() []float64 {
 	}
 	return out
 }
+
+// RoundError reports a sync-round that aborted mid-flight. The model was
+// not updated: weights remain exactly as they were at the last round
+// boundary, so the round can be retried (possibly on a new partition).
+type RoundError struct {
+	// Stages lists the pipeline stages that reported errors, ascending. The
+	// first entry is usually the stage adjacent to the fault; stages
+	// unwound by the abort broadcast follow.
+	Stages []int
+	Errs   []error
+}
+
+func (e *RoundError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "runtime: sync-round aborted (%d stages failed):", len(e.Stages))
+	for i, s := range e.Stages {
+		fmt.Fprintf(&b, " stage %d: %v;", s, e.Errs[i])
+	}
+	return strings.TrimSuffix(b.String(), ";")
+}
+
+// Unwrap exposes the first stage error for errors.Is/As chains.
+func (e *RoundError) Unwrap() error { return e.Errs[0] }
 
 // LastRoundStats returns measurements of the most recent TrainSyncRound
 // (nil before the first round).
@@ -193,7 +125,40 @@ func NewDistributed(tr *model.Trainable, cuts []int, dial Dialer) (*DistPipeline
 	if dial == nil {
 		dial = PipeLinks()
 	}
-	return &DistPipeline{inner: p, dial: dial}, nil
+	return &DistPipeline{
+		inner:  p,
+		dial:   dial,
+		rng:    rand.New(rand.NewSource(int64(len(cuts)) + 1)),
+		delays: make([]atomic.Int64, p.NumStages()),
+	}, nil
+}
+
+// SetLinkOptions installs the link fault-tolerance options (deadlines,
+// heartbeats, dial retries) used by subsequent rounds. The zero value is
+// the default: no deadlines, no heartbeats, frame validation only.
+func (d *DistPipeline) SetLinkOptions(opts LinkOptions) {
+	d.opts = opts
+	if opts.JitterSeed != 0 {
+		d.rng = rand.New(rand.NewSource(opts.JitterSeed))
+	}
+}
+
+// SetStageDelay injects an artificial per-op compute delay into stage s —
+// an emulated external workload consuming the device. Measured stage times
+// include the delay, so deviation monitors react to it exactly as to a real
+// load spike. A zero duration clears the delay. Safe to call mid-round.
+func (d *DistPipeline) SetStageDelay(s int, delay time.Duration) {
+	if s >= 0 && s < len(d.delays) {
+		d.delays[s].Store(int64(delay))
+	}
+}
+
+// stageDelay returns stage s's current injected delay.
+func (d *DistPipeline) stageDelay(s int) time.Duration {
+	if s < 0 || s >= len(d.delays) {
+		return 0
+	}
+	return time.Duration(d.delays[s].Load())
 }
 
 // SetTrace attaches a span recorder to the stage workers: subsequent rounds
@@ -206,8 +171,14 @@ func (d *DistPipeline) Network() *nn.Network { return d.inner.Network() }
 // NumStages returns the stage count.
 func (d *DistPipeline) NumStages() int { return d.inner.NumStages() }
 
+// Boundaries returns the block boundaries of the current partition
+// (len = NumStages+1): stage s runs blocks [b[s], b[s+1]).
+func (d *DistPipeline) Boundaries() []int { return d.inner.Boundaries() }
+
 // TrainSyncRound runs one 1F1B-Sync sync-round with inter-stage traffic on
 // real connections, applies the flush update, and returns the mean loss.
+// On a mid-round fault it aborts cleanly — all stage goroutines and link
+// writers unwind, no weights are committed — and returns a *RoundError.
 func (d *DistPipeline) TrainSyncRound(x *tensor.Tensor, labels []int, mbs int, opt *nn.SGD) (float64, error) {
 	if mbs <= 0 {
 		return 0, fmt.Errorf("runtime: micro-batch size must be positive")
@@ -220,13 +191,13 @@ func (d *DistPipeline) TrainSyncRound(x *tensor.Tensor, labels []int, mbs int, o
 	micros, microLabels := splitMicroBatches(x, labels, mbs)
 	m := len(micros)
 
-	// Establish links.
+	// Establish links (retrying transient dial failures under backoff).
 	ups := make([]*link, S)   // ups[s]: stage s's link to stage s+1
 	downs := make([]*link, S) // downs[s]: stage s's link to stage s−1
 	var conns []net.Conn
 	var links []*link
 	for i := 0; i < S-1; i++ {
-		up, down, err := d.dial(i)
+		up, down, err := dialLink(d.dial, i, d.opts, d.rng)
 		if err != nil {
 			for _, c := range conns {
 				c.Close()
@@ -234,9 +205,24 @@ func (d *DistPipeline) TrainSyncRound(x *tensor.Tensor, labels []int, mbs int, o
 			return 0, err
 		}
 		conns = append(conns, up, down)
-		ups[i] = newLink(up, m)
-		downs[i+1] = newLink(down, m)
+		ups[i] = newLink(up, m, d.opts)
+		downs[i+1] = newLink(down, m, d.opts)
 		links = append(links, ups[i], downs[i+1])
+	}
+
+	// abort force-closes every connection: goroutines parked in a blocking
+	// recv (gob.Decode) or a stuck write unwind with an error instead of
+	// leaking. Invoked by the first stage that fails; idempotent.
+	var abortOnce sync.Once
+	aborted := false
+	abort := func() {
+		abortOnce.Do(func() {
+			aborted = true
+			distAbortsTotal.Inc()
+			for _, c := range conns {
+				c.Close()
+			}
+		})
 	}
 	defer func() {
 		for _, l := range links {
@@ -258,20 +244,29 @@ func (d *DistPipeline) TrainSyncRound(x *tensor.Tensor, labels []int, mbs int, o
 		go func(s int) {
 			defer wg.Done()
 			errs[s] = d.runStage(s, S, m, micros, microLabels, rows, losses, downs[s], ups[s], &stats.ComputeTime[s])
+			if errs[s] != nil {
+				abort()
+			}
 		}(s)
 	}
 	wg.Wait()
 	stats.WallTime = time.Since(start)
+	stats.Aborted = aborted
 	distRoundsTotal.Inc()
-	samplesTotal.Add(int64(rows))
 	d.mu.Lock()
 	d.lastStats = stats
 	d.mu.Unlock()
-	for _, err := range errs {
-		if err != nil {
-			return 0, err
+	if aborted {
+		re := &RoundError{}
+		for s, err := range errs {
+			if err != nil {
+				re.Stages = append(re.Stages, s)
+				re.Errs = append(re.Errs, err)
+			}
 		}
+		return 0, re
 	}
+	samplesTotal.Add(int64(rows))
 	opt.Step(d.Network().Params())
 	var loss float64
 	for i, l := range losses {
@@ -311,8 +306,12 @@ func (d *DistPipeline) runStage(s, S, m int, micros []*tensor.Tensor, microLabel
 			sp := tr.Begin(0, s, "fwd", "compute")
 			t0 := time.Now()
 			out, c := seg.Forward(in)
-			*busy += time.Since(t0)
-			sm.busyNanos.Add(time.Since(t0).Nanoseconds())
+			if dl := d.stageDelay(s); dl > 0 {
+				time.Sleep(dl)
+			}
+			el := time.Since(t0)
+			*busy += el
+			sm.busyNanos.Add(el.Nanoseconds())
 			sm.fwd.Inc()
 			sp.EndMicro(o.micro)
 			caches[o.micro] = c
@@ -345,8 +344,12 @@ func (d *DistPipeline) runStage(s, S, m int, micros []*tensor.Tensor, microLabel
 			sp := tr.Begin(0, s, "bwd", "compute")
 			t0 := time.Now()
 			dx := seg.Backward(caches[o.micro], dy)
-			*busy += time.Since(t0)
-			sm.busyNanos.Add(time.Since(t0).Nanoseconds())
+			if dl := d.stageDelay(s); dl > 0 {
+				time.Sleep(dl)
+			}
+			el := time.Since(t0)
+			*busy += el
+			sm.busyNanos.Add(el.Nanoseconds())
 			sm.bwd.Inc()
 			sp.EndMicro(o.micro)
 			caches[o.micro] = nil

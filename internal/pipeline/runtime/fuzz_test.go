@@ -1,0 +1,97 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"net"
+	"testing"
+	"time"
+)
+
+// byteConn adapts a byte buffer to net.Conn so link.recv can be driven by
+// arbitrary fuzzer-supplied streams without a live peer.
+type byteConn struct{ r *bytes.Reader }
+
+func (c *byteConn) Read(b []byte) (int, error)         { return c.r.Read(b) }
+func (c *byteConn) Write(b []byte) (int, error)        { return len(b), nil }
+func (c *byteConn) Close() error                       { return nil }
+func (c *byteConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (c *byteConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (c *byteConn) SetDeadline(t time.Time) error      { return nil }
+func (c *byteConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *byteConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// FuzzLinkRecvDecode throws arbitrary byte streams at the pipeline link's
+// frame decoder (runs the seed corpus under plain `go test`; use
+// `go test -fuzz=FuzzLinkRecvDecode` for continuous fuzzing). Whatever
+// survives the gob decoder must pass frame validation before it becomes a
+// tensor: every tensor handed back has a shape that exactly matches its
+// payload, within the dimension bounds, with only finite values — no matter
+// what shapes, lengths, or payloads the bytes claim to carry. Truncated
+// streams (a connection severed mid-gob) must error out, never panic or
+// hang.
+func FuzzLinkRecvDecode(f *testing.F) {
+	seed := func(frames ...*tensorMsg) []byte {
+		var buf bytes.Buffer
+		enc := gob.NewEncoder(&buf)
+		for _, m := range frames {
+			if err := enc.Encode(m); err != nil {
+				f.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(&tensorMsg{Micro: 0, Shape: []int{2, 3}, Data: []float64{1, 2, 3, 4, 5, 6}}))
+	f.Add(seed(
+		&tensorMsg{Micro: heartbeatMicro},
+		&tensorMsg{Micro: 1, Shape: []int{4}, Data: []float64{1, 2, 3, 4}},
+	))
+	// Hostile frames: truncated stream, oversized dim counts, dim products
+	// that overflow, negative dims, NaN-poisoned payloads, length mismatch.
+	whole := seed(&tensorMsg{Micro: 2, Shape: []int{8}, Data: make([]float64, 8)})
+	f.Add(whole[:len(whole)/2])
+	f.Add(seed(&tensorMsg{Micro: 0, Shape: []int{1, 1, 1, 1, 1, 1, 1, 1, 1}, Data: []float64{0}}))
+	f.Add(seed(&tensorMsg{Micro: 0, Shape: []int{1 << 20, 1 << 20, 1 << 20}}))
+	f.Add(seed(&tensorMsg{Micro: 0, Shape: []int{-4, 2}, Data: []float64{1}}))
+	f.Add(seed(&tensorMsg{Micro: 0, Shape: []int{2}, Data: []float64{math.NaN(), 1}}))
+	f.Add(seed(&tensorMsg{Micro: 0, Shape: []int{3}, Data: []float64{1}}))
+	f.Add(seed(&tensorMsg{Micro: -9, Shape: []int{1}, Data: []float64{1}}))
+	f.Add([]byte("\x7fthis is not a gob stream"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		opts := LinkOptions{MaxFrameDims: 8, MaxFrameElems: 1 << 16}
+		l := &link{
+			conn: &byteConn{r: bytes.NewReader(raw)},
+			dec:  gob.NewDecoder(&byteConn{r: bytes.NewReader(raw)}),
+			opts: opts,
+		}
+		for n := 0; n < 64; n++ {
+			micro, tt, err := l.recv()
+			if err != nil {
+				break // malformed, hostile, or exhausted: the round aborts
+			}
+			if micro < 0 {
+				t.Fatalf("negative micro %d escaped validation", micro)
+			}
+			if len(tt.Shape) == 0 || len(tt.Shape) > opts.maxDims() {
+				t.Fatalf("shape %v escaped dim bounds", tt.Shape)
+			}
+			elems := 1
+			for _, d := range tt.Shape {
+				if d <= 0 {
+					t.Fatalf("non-positive dim in %v escaped validation", tt.Shape)
+				}
+				elems *= d
+			}
+			if elems != len(tt.Data) || elems > opts.maxElems() {
+				t.Fatalf("shape %v vs %d elements escaped validation", tt.Shape, len(tt.Data))
+			}
+			for _, v := range tt.Data {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatal("non-finite value escaped validation")
+				}
+			}
+		}
+	})
+}

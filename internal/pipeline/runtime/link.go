@@ -1,0 +1,424 @@
+package runtime
+
+// The hardened link layer of the distributed pipeline. A link is one duplex
+// neighbour connection carrying gob-framed tensors. PR 4 hardened the
+// server-side flnet transport against misbehaving networks; this file gives
+// the pipeline's peer-to-peer links the same treatment:
+//
+//   - per-frame send/recv deadlines turn silent stalls into errors the
+//     round-abort machinery can act on;
+//   - idle heartbeats let a receiver distinguish "peer is computing" from
+//     "link is dead" without inflating the per-frame deadline, with a total
+//     budget so a black-holed frame is still detected;
+//   - every received frame is validated (dim count, dim positivity, element
+//     count vs payload length, finite values) before it becomes a tensor, so
+//     a hostile or corrupted peer cannot poison training state or allocate
+//     unboundedly (mirrors flnet's validMetricPoint);
+//   - link establishment retries transient dial failures under flnet's
+//     exponential-backoff-with-jitter policy, so a chaos partition window
+//     delays a round instead of failing it.
+//
+// All hardening is opt-in through LinkOptions; the zero value behaves like
+// the pre-hardening link (no deadlines, no heartbeats, validation always on).
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"ecofl/internal/flnet"
+	"ecofl/internal/metrics"
+	"ecofl/internal/simnet"
+	"ecofl/internal/tensor"
+)
+
+var (
+	linkHeartbeatsTotal = metrics.GetCounter("ecofl_pipeline_link_heartbeats_total",
+		"idle keepalive frames sent on pipeline links")
+	linkRejectedTotal = metrics.GetCounter("ecofl_pipeline_link_frames_rejected_total",
+		"received tensor frames rejected by validation (hostile or corrupt)")
+	linkDialRetriesTotal = metrics.GetCounter("ecofl_pipeline_link_dial_retries_total",
+		"link dial attempts retried after a transient failure")
+)
+
+// heartbeatMicro marks an idle keepalive frame; it carries no tensor.
+const heartbeatMicro = -1
+
+// Defaults for the zero fields of LinkOptions.
+const (
+	defaultMaxFrameDims  = 8
+	defaultMaxFrameElems = 1 << 24 // 16M float64 elements = 128 MB, far above any stage tensor here
+)
+
+// LinkOptions configures the fault tolerance of pipeline links. The zero
+// value disables deadlines, heartbeats and dial retries (the pre-hardening
+// behaviour); frame validation is always on.
+type LinkOptions struct {
+	// SendTimeout is the per-frame write deadline. 0 disables it.
+	SendTimeout time.Duration
+	// RecvTimeout is the deadline for one frame (data or heartbeat) to
+	// arrive. With heartbeats flowing it only needs to cover the heartbeat
+	// interval plus jitter, not the peer's compute time. 0 disables it.
+	RecvTimeout time.Duration
+	// RecvBudget caps the total wait for one *data* frame across any number
+	// of heartbeats, so a black-holed tensor is detected even while the link
+	// stays chatty. 0 means 8×RecvTimeout (no cap when RecvTimeout is 0).
+	RecvBudget time.Duration
+	// Heartbeat is the idle keepalive interval; 0 disables heartbeats. Must
+	// be comfortably below RecvTimeout to keep a healthy link quiet-proof.
+	Heartbeat time.Duration
+	// MaxFrameDims and MaxFrameElems bound accepted tensor frames
+	// (defaults 8 dims, 1<<24 elements).
+	MaxFrameDims  int
+	MaxFrameElems int
+	// DialRetries is how many times a failed link dial is retried under the
+	// flnet backoff policy before the round gives up. 0 disables retries.
+	DialRetries int
+	// BackoffBase/BackoffMax shape the dial-retry backoff (defaults
+	// 10ms/500ms). JitterSeed seeds the jitter stream; 0 derives one.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	JitterSeed  int64
+}
+
+func (o LinkOptions) maxDims() int {
+	if o.MaxFrameDims > 0 {
+		return o.MaxFrameDims
+	}
+	return defaultMaxFrameDims
+}
+
+func (o LinkOptions) maxElems() int {
+	if o.MaxFrameElems > 0 {
+		return o.MaxFrameElems
+	}
+	return defaultMaxFrameElems
+}
+
+func (o LinkOptions) recvBudget() time.Duration {
+	if o.RecvBudget > 0 {
+		return o.RecvBudget
+	}
+	if o.RecvTimeout > 0 {
+		return 8 * o.RecvTimeout
+	}
+	return 0
+}
+
+func (o LinkOptions) backoffBase() time.Duration {
+	if o.BackoffBase > 0 {
+		return o.BackoffBase
+	}
+	return 10 * time.Millisecond
+}
+
+func (o LinkOptions) backoffMax() time.Duration {
+	if o.BackoffMax > 0 {
+		return o.BackoffMax
+	}
+	return 500 * time.Millisecond
+}
+
+// tensorMsg is the wire format for one micro-batch tensor (or, with
+// Micro == heartbeatMicro and no payload, an idle keepalive).
+type tensorMsg struct {
+	Micro int
+	Shape []int
+	Data  []float64
+}
+
+// errFrame tags a frame-validation failure: the bytes decoded as a tensorMsg
+// but its contents are hostile or corrupt.
+var errFrame = errors.New("runtime: invalid tensor frame")
+
+// validateFrame rejects frames a correct peer can never produce: dimension
+// counts and sizes outside sane bounds, payload lengths that disagree with
+// the claimed shape, and NaN/Inf-poisoned values that would silently corrupt
+// every parameter they touch.
+func validateFrame(m *tensorMsg, opts *LinkOptions) error {
+	if m.Micro < 0 {
+		return fmt.Errorf("%w: negative micro-batch index %d", errFrame, m.Micro)
+	}
+	if len(m.Shape) == 0 || len(m.Shape) > opts.maxDims() {
+		return fmt.Errorf("%w: %d dims", errFrame, len(m.Shape))
+	}
+	maxElems := opts.maxElems()
+	elems := 1
+	for _, d := range m.Shape {
+		if d <= 0 {
+			return fmt.Errorf("%w: non-positive dim %d", errFrame, d)
+		}
+		if elems > maxElems/d {
+			return fmt.Errorf("%w: shape %v exceeds %d elements", errFrame, m.Shape, maxElems)
+		}
+		elems *= d
+	}
+	if elems != len(m.Data) {
+		return fmt.Errorf("%w: shape %v claims %d elements, payload has %d", errFrame, m.Shape, elems, len(m.Data))
+	}
+	for i, v := range m.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: non-finite value at element %d", errFrame, i)
+		}
+	}
+	return nil
+}
+
+// link is one duplex neighbour connection. Sends are asynchronous through a
+// writer goroutine: a stage can push its next activation while the neighbour
+// is still computing (the network buffers), which both matches real links
+// and avoids head-to-head write deadlocks on synchronous transports like
+// net.Pipe. The same goroutine emits idle heartbeats so the peer's recv
+// deadline stays fed while this stage computes.
+type link struct {
+	conn net.Conn
+	opts LinkOptions
+	out  chan tensorMsg
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	done chan struct{}
+	mu   sync.Mutex
+	werr error
+	// Armed connection deadlines. Deadlines are set for 2× the configured
+	// timeout and only re-armed once they no longer guarantee a full timeout
+	// of patience, so back-to-back frames skip the per-frame timer churn
+	// (SetDeadline takes a mutex and resets a timer on every call).
+	// wDeadline is touched only by the writer goroutine, rDeadline only by
+	// the receiving stage goroutine — no lock needed.
+	wDeadline time.Time
+	rDeadline time.Time
+}
+
+func newLink(c net.Conn, depth int, opts LinkOptions) *link {
+	l := &link{conn: c, opts: opts, out: make(chan tensorMsg, depth),
+		enc: gob.NewEncoder(c), dec: gob.NewDecoder(c), done: make(chan struct{})}
+	go l.writer()
+	return l
+}
+
+// writer drains the send queue onto the connection, interleaving heartbeats
+// whenever the queue has been idle for a heartbeat interval. After the first
+// write error it keeps draining so senders never block on a dead link.
+func (l *link) writer() {
+	defer close(l.done)
+	var tickC <-chan time.Time
+	if l.opts.Heartbeat > 0 {
+		tick := time.NewTicker(l.opts.Heartbeat)
+		defer tick.Stop()
+		tickC = tick.C
+	}
+	for {
+		select {
+		case m, ok := <-l.out:
+			if !ok {
+				return
+			}
+			l.write(&m)
+		case <-tickC:
+			hb := tensorMsg{Micro: heartbeatMicro}
+			if l.write(&hb) {
+				linkHeartbeatsTotal.Inc()
+			}
+		}
+	}
+}
+
+// write encodes one frame under the send deadline, recording the first
+// failure. Returns whether the frame went out.
+func (l *link) write(m *tensorMsg) bool {
+	l.mu.Lock()
+	failed := l.werr != nil
+	l.mu.Unlock()
+	if failed {
+		return false // drain mode: the round is already doomed on this link
+	}
+	if l.opts.SendTimeout > 0 {
+		if now := time.Now(); l.wDeadline.Before(now.Add(l.opts.SendTimeout)) {
+			l.wDeadline = now.Add(2 * l.opts.SendTimeout)
+			l.conn.SetWriteDeadline(l.wDeadline)
+		}
+	}
+	if err := l.enc.Encode(m); err != nil {
+		l.mu.Lock()
+		if l.werr == nil {
+			l.werr = err
+		}
+		l.mu.Unlock()
+		// Make the failure self-announcing: closing the connection unparks
+		// the peer's blocking decode (EOF) even when no deadlines are set,
+		// so a one-sided write fault can never strand the round.
+		l.conn.Close()
+		return false
+	}
+	return true
+}
+
+func (l *link) send(micro int, t *tensor.Tensor) error {
+	l.mu.Lock()
+	err := l.werr
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	l.out <- tensorMsg{Micro: micro, Shape: t.Shape, Data: t.Data}
+	return nil
+}
+
+// recv blocks for the next data frame, skipping heartbeats, enforcing the
+// per-frame deadline and the overall data-frame budget, and validating the
+// frame before it becomes a tensor.
+func (l *link) recv() (int, *tensor.Tensor, error) {
+	var budgetEnd time.Time
+	if b := l.opts.recvBudget(); b > 0 {
+		budgetEnd = time.Now().Add(b)
+	}
+	for {
+		if l.opts.RecvTimeout > 0 {
+			now := time.Now()
+			dl := now.Add(2 * l.opts.RecvTimeout)
+			capped := false
+			if !budgetEnd.IsZero() && budgetEnd.Before(dl) {
+				dl = budgetEnd
+				capped = true
+			}
+			// Re-arm only when the armed deadline no longer guarantees a
+			// full RecvTimeout of patience (or the budget forces an earlier
+			// one). Stalls are still detected within 2×RecvTimeout.
+			if capped || l.rDeadline.Before(now.Add(l.opts.RecvTimeout)) {
+				l.rDeadline = dl
+				l.conn.SetReadDeadline(dl)
+			}
+		}
+		var m tensorMsg
+		if err := l.dec.Decode(&m); err != nil {
+			return 0, nil, err
+		}
+		if m.Micro == heartbeatMicro && len(m.Shape) == 0 && len(m.Data) == 0 {
+			if !budgetEnd.IsZero() && !time.Now().Before(budgetEnd) {
+				return 0, nil, fmt.Errorf("runtime: no data frame within %v (heartbeats only)", l.opts.recvBudget())
+			}
+			continue // keepalive: the peer is alive but still computing
+		}
+		if err := validateFrame(&m, &l.opts); err != nil {
+			linkRejectedTotal.Inc()
+			return 0, nil, err
+		}
+		return m.Micro, tensor.FromSlice(m.Data, m.Shape...), nil
+	}
+}
+
+// close flushes and stops the writer, and disarms any pending connection
+// deadline so its backing timer is released now instead of lingering in the
+// timer heap until it fires (links are re-dialed every round, so stale
+// timers would otherwise accumulate by the thousand).
+func (l *link) close() {
+	close(l.out)
+	<-l.done
+	if l.opts.SendTimeout > 0 || l.opts.RecvTimeout > 0 {
+		l.conn.SetDeadline(time.Time{})
+	}
+}
+
+// Dialer produces the S−1 duplex connection pairs of a pipeline: for link i
+// it returns the upstream endpoint (held by stage i) and the downstream
+// endpoint (held by stage i+1).
+type Dialer func(i int) (up, down net.Conn, err error)
+
+// PipeLinks returns a Dialer backed by in-process net.Pipe connections.
+func PipeLinks() Dialer {
+	return func(int) (net.Conn, net.Conn, error) {
+		a, b := net.Pipe()
+		return a, b, nil
+	}
+}
+
+// ThrottledLinks wraps another Dialer so every link is paced to the given
+// bandwidth (bytes/s) with a per-message latency — the in-process stand-in
+// for the paper's 100 Mbps in-home wireless links (device.Bandwidth100Mbps).
+func ThrottledLinks(inner Dialer, bandwidth float64, latency time.Duration) Dialer {
+	return func(i int) (net.Conn, net.Conn, error) {
+		up, down, err := inner(i)
+		if err != nil {
+			return nil, nil, err
+		}
+		return simnet.Throttle(up, bandwidth, latency), simnet.Throttle(down, bandwidth, latency), nil
+	}
+}
+
+// TCPLinks returns a Dialer backed by real TCP loopback connections.
+func TCPLinks() Dialer {
+	return func(int) (net.Conn, net.Conn, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		defer ln.Close()
+		type res struct {
+			c   net.Conn
+			err error
+		}
+		ch := make(chan res, 1)
+		go func() {
+			c, err := ln.Accept()
+			ch <- res{c, err}
+		}()
+		up, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return nil, nil, err
+		}
+		r := <-ch
+		if r.err != nil {
+			up.Close()
+			return nil, nil, r.err
+		}
+		return up, r.c, nil
+	}
+}
+
+// ChaosLinks wraps a Dialer so link i's connections pass through the shared
+// fault injector chaos(i) — the same seeded simnet.Chaos across every
+// re-dial of that link, so partitions outlast reconnects and the fault
+// schedule stays a single deterministic stream. A nil chaos(i) leaves link i
+// clean. Both endpoints are wrapped: activations and gradients share the
+// link's weather, like the duplex wireless links they emulate.
+func ChaosLinks(inner Dialer, chaos func(i int) *simnet.Chaos) Dialer {
+	return func(i int) (net.Conn, net.Conn, error) {
+		c := chaos(i)
+		if c != nil {
+			if err := c.DialFault(); err != nil {
+				return nil, nil, err
+			}
+		}
+		up, down, err := inner(i)
+		if err != nil {
+			return nil, nil, err
+		}
+		if c != nil {
+			return c.Wrap(up), c.Wrap(down), nil
+		}
+		return up, down, nil
+	}
+}
+
+// dialLink establishes one link, retrying transient failures (a chaos
+// partition window, a refused TCP dial) under the flnet backoff policy.
+func dialLink(dial Dialer, i int, opts LinkOptions, rng *rand.Rand) (net.Conn, net.Conn, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		up, down, err := dial(i)
+		if err == nil {
+			return up, down, nil
+		}
+		lastErr = err
+		if attempt >= opts.DialRetries {
+			return nil, nil, fmt.Errorf("runtime: link %d dial failed after %d attempts: %w", i, attempt+1, lastErr)
+		}
+		linkDialRetriesTotal.Inc()
+		time.Sleep(flnet.BackoffDelay(attempt+1, opts.backoffBase(), opts.backoffMax(), rng))
+	}
+}

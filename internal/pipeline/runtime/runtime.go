@@ -102,6 +102,13 @@ func (p *Pipeline) SetTrace(tr *obs.Trace) {
 // NumStages returns the number of pipeline stages.
 func (p *Pipeline) NumStages() int { return len(p.segments) }
 
+// Boundaries returns a copy of the block boundaries (len = NumStages+1):
+// stage s executes blocks [b[s], b[s+1]) — the layout healers and
+// experiments report when a partition changes at runtime.
+func (p *Pipeline) Boundaries() []int {
+	return append([]int(nil), p.boundaries...)
+}
+
 // Network returns the underlying full network (shared parameters).
 func (p *Pipeline) Network() *nn.Network { return p.trainable.Network() }
 

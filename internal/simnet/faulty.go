@@ -12,6 +12,7 @@ package simnet
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"net"
 	"sync"
@@ -62,6 +63,17 @@ func (m FaultMode) String() string {
 // ErrPartitioned is returned by reads, writes and dials while the link is
 // inside a partition window.
 var ErrPartitioned = errors.New("simnet: link partitioned")
+
+// ParseFaultMode maps a mode name (as produced by FaultMode.String) back to
+// the mode — the CLI's --chaos flag format.
+func ParseFaultMode(s string) (FaultMode, error) {
+	for m := FaultNone; m <= FaultPartition; m++ {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return FaultNone, fmt.Errorf("simnet: unknown fault mode %q (none, drop, stall, black-hole, sever, partition)", s)
+}
 
 // FaultPlan is a deterministic fault schedule.
 type FaultPlan struct {
@@ -123,6 +135,18 @@ func (c *Chaos) partitioned() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return time.Now().Before(c.partUntil)
+}
+
+// DialFault reports the fault a fresh dial over this link would hit right
+// now: ErrPartitioned inside a partition window, nil otherwise. Dialers
+// that are not simple addr-based functions (e.g. the pipeline's paired-conn
+// Dialer) call this before establishing connections so a downed link also
+// refuses reconnects, like Chaos.Dialer does for the flnet transport.
+func (c *Chaos) DialFault() error {
+	if c.partitioned() {
+		return ErrPartitioned
+	}
+	return nil
 }
 
 // decide consumes one trigger draw and returns the fault to apply to this

@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
-# Runs the tensor/nn/fl/obs/metrics/flnet benchmarks and writes
-# BENCH_pr3.json mapping each benchmark to ns/op and allocs/op, alongside the
-# seed baseline and the PR1 numbers captured on the same host (BENCH_pr1.json
-# and BENCH_pr2.json in the repo root hold the full earlier captures).
+# Runs the tensor/nn/fl/obs/metrics/flnet/pipeline-runtime benchmarks and
+# writes BENCH_pr5.json mapping each benchmark to ns/op and allocs/op,
+# alongside the seed baseline and the PR1 numbers captured on the same host
+# (BENCH_pr1.json..BENCH_pr3.json in the repo root hold the earlier captures).
+#
+# Self-healing hardening overhead is read off one comparison:
+#   - BenchmarkDistRound/bare vs BenchmarkDistRound/hardened: a fault-free
+#     distributed sync-round with zero LinkOptions vs full send/recv
+#     deadlines + heartbeats + dial retries. The budget is <2% steady-state.
 #
 # Telemetry overhead is read off two comparisons:
 #   - BenchmarkPushRaw vs BenchmarkPushRawWithTelemetry: the true piggyback
@@ -16,13 +21,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_pr3.json}
+out=${1:-BENCH_pr5.json}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' -bench . -benchmem -benchtime 200ms \
 	./internal/tensor/... ./internal/nn/... ./internal/fl/... \
-	./internal/obs/... ./internal/metrics/... ./internal/flnet/... | tee "$raw"
+	./internal/obs/... ./internal/metrics/... ./internal/flnet/... \
+	./internal/pipeline/runtime/... | tee "$raw"
 
 awk '
 /^Benchmark/ {
@@ -40,7 +46,7 @@ END {
 	printf "{\n"
 	printf "  \"generated_by\": \"scripts/bench.sh\",\n"
 	printf "  \"units\": {\"ns_op\": \"ns/op\", \"allocs_op\": \"allocs/op\"},\n"
-	printf "  \"notes\": \"Telemetry overhead: compare BenchmarkPushRaw vs BenchmarkPushRawWithTelemetry (piggyback cost per push) and see BenchmarkSamplerSample for the 2s-periodic history cost; the disabled path is one nil check per round trip. Full earlier captures live in BENCH_pr1.json / BENCH_pr2.json.\",\n"
+	printf "  \"notes\": \"Self-healing hardening overhead: compare BenchmarkDistRound/bare vs BenchmarkDistRound/hardened (send/recv deadlines + heartbeats + dial retries on a fault-free distributed round; budget <2%% steady-state). Telemetry overhead: compare BenchmarkPushRaw vs BenchmarkPushRawWithTelemetry and see BenchmarkSamplerSample. Full earlier captures live in BENCH_pr1.json..BENCH_pr3.json.\",\n"
 	printf "  \"baseline_seed\": {\n"
 	printf "    \"BenchmarkMatMul64\": {\"ns_op\": 181628, \"allocs_op\": 4},\n"
 	printf "    \"BenchmarkMatMulAT64\": {\"ns_op\": 142610, \"allocs_op\": 4},\n"

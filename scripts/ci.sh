@@ -15,8 +15,11 @@ go vet ./...
 go build ./...
 go test ./...
 # -short keeps the race pass fast: the flnet chaos soak (fault-injected
-# links, server bounces) runs its reduced-round configuration here, having
-# already run in full above.
+# links, server bounces) and the pipeline chaos soak (executor TestChaosSoak:
+# every simnet fault mode plus a killed device, under ./internal/adaptive/...)
+# run their reduced-round configurations here, having already run in full
+# above. ./internal/adaptive/... covers the self-healing executor package;
+# ./internal/pipeline/runtime/... covers the hardened link layer.
 go test -race -short ./internal/tensor/... ./internal/fl/... \
 	./internal/metrics/... ./internal/obs/... ./internal/adaptive/... \
 	./internal/flnet/... ./internal/simnet/... ./internal/pipeline/runtime/...
