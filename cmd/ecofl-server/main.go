@@ -83,6 +83,8 @@ func main() {
 	sampleWindow := flag.Int("sample-window", 900, "time-series points kept per metric")
 	stragglerThreshold := flag.Float64("straggler-threshold", 0, "relative push-interval deviation flagging a straggler (0 = default 0.25)")
 	fleetTrace := flag.String("fleet-trace", "", "write the merged fleet Chrome trace here on exit (optional)")
+	gobOnly := flag.Bool("gob-only", false, "disable the binary wire protocol (emulate a pre-binary server; portals fall back to gob)")
+	ingestBatch := flag.Int("ingest-batch", 0, "max pushes mixed per model-lock acquisition (0 = default 32, negative disables batching)")
 	flag.Parse()
 
 	proto := nn.NewMLP(rand.New(rand.NewSource(*modelSeed)), *dim, *hidden, *classes)
@@ -94,7 +96,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := flnet.ServerOptions{Alpha: *alpha}
+	opts := flnet.ServerOptions{Alpha: *alpha, GobOnly: *gobOnly, IngestBatch: *ingestBatch}
 	if *checkpoint != "" {
 		ck, err := flnet.LoadCheckpoint(*checkpoint)
 		switch {

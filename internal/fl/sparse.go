@@ -1,0 +1,135 @@
+package fl
+
+// Sparse-overlay strategy hooks for communication-efficient uplinks: a
+// client that knows which reference model the server holds for it (flnet's
+// last-acked reply) can ship only the k coordinates that moved most, as
+// (index, new value) pairs. The server reconstructs the full update as the
+// reference overlaid with those values and mixes it with the usual FedAsync
+// step. Transmitting absolute values rather than differences makes the
+// reconstruction exact: with k = len(w) the sparse push is bit-identical to
+// a dense push, so sparsification is a pure wire-size lever whose only
+// accuracy cost is the untransmitted (smallest-magnitude) coordinates
+// reverting to the reference.
+
+import "ecofl/internal/tensor"
+
+// AsyncMixSparse applies the FedAsync update w ← (1−α)w + α·u in place,
+// where u is ref overlaid with vals at the strictly ascending indices idx —
+// without ever materializing u. The arithmetic per element is identical to
+// AsyncMix on the reconstructed update, so a sparse push with a full index
+// set reproduces the dense push bit for bit. Callers must have validated
+// idx against len(global) (flnet's wire decode and applyPush both do).
+func AsyncMixSparse(global, ref []float64, idx []uint32, vals []float64, alpha float64) {
+	j := 0
+	for i := range global {
+		u := ref[i]
+		if j < len(idx) && int(idx[j]) == i {
+			u = vals[j]
+			j++
+		}
+		global[i] = (1-alpha)*global[i] + alpha*u
+	}
+}
+
+// TopKDelta selects the k coordinates where w diverges most from ref (by
+// |w[i]−ref[i]|) and appends their indices (strictly ascending) and new
+// values to idx[:0] and vals[:0], reusing the destination capacity.
+// Coordinates that did not move at all are never selected, so the result
+// may hold fewer than k pairs; ties at the selection threshold are broken
+// deterministically in index order. k ≥ len(w) selects exactly the changed
+// coordinates (a lossless sparse encoding of w against ref).
+func TopKDelta(w, ref []float64, k int, idx []uint32, vals []float64) ([]uint32, []float64) {
+	idx, vals = idx[:0], vals[:0]
+	n := len(w)
+	if k <= 0 || n == 0 {
+		return idx, vals
+	}
+	if k > n {
+		k = n
+	}
+	// Selection threshold: the kth largest |w−ref|. The magnitudes are
+	// computed once into pooled scratch (the training hot path must not
+	// churn allocations) and kept unmutated, so the count and collect
+	// passes below read the cheap single array instead of re-deriving
+	// |w−ref| from two model-sized ones.
+	scratch := tensor.GetBufUninit(n)
+	mags := scratch.Data[:n]
+	for i := range mags {
+		d := w[i] - ref[i]
+		if d < 0 {
+			d = -d
+		}
+		mags[i] = d
+	}
+	heap := tensor.GetBufUninit(k)
+	tau := kthLargest(mags, k, heap.Data)
+	tensor.PutBuf(heap)
+
+	// Count how many coordinates sit strictly above the threshold (fewer
+	// than k by definition of the kth largest); the remaining budget goes to
+	// coordinates exactly at it, taken in index order. A zero threshold
+	// means fewer than k coordinates moved at all; transmitting v == ref[i]
+	// would be a no-op, so ties at zero are skipped.
+	above := 0
+	for _, d := range mags {
+		if d > tau {
+			above++
+		}
+	}
+	allowEq := 0
+	if tau > 0 {
+		allowEq = k - above
+	}
+	for i, d := range mags {
+		switch {
+		case d > tau:
+		case d == tau && tau > 0 && allowEq > 0:
+			allowEq--
+		default:
+			continue
+		}
+		idx = append(idx, uint32(i))
+		vals = append(vals, w[i])
+	}
+	tensor.PutBuf(scratch)
+	return idx, vals
+}
+
+// kthLargest returns the k-th largest element of a (1-based, 1 ≤ k ≤
+// len(a)) without mutating a, using h (len ≥ k) as scratch. A size-k
+// min-heap tracks the k largest values seen; its root is the running
+// threshold, so for k ≪ len(a) almost every element is rejected with a
+// single compare. Value arithmetic only — deterministic by construction.
+func kthLargest(a []float64, k int, h []float64) float64 {
+	h = h[:k]
+	copy(h, a[:k])
+	for i := k/2 - 1; i >= 0; i-- {
+		siftDownMin(h, i)
+	}
+	for _, v := range a[k:] {
+		if v > h[0] {
+			h[0] = v
+			siftDownMin(h, 0)
+		}
+	}
+	return h[0]
+}
+
+// siftDownMin restores the min-heap property of h below index i.
+func siftDownMin(h []float64, i int) {
+	n := len(h)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && h[c+1] < h[c] {
+			c++
+		}
+		if h[i] <= h[c] {
+			return
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+}

@@ -1,0 +1,136 @@
+package fl
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestAsyncMixSparseLosslessMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 257
+	ref := make([]float64, n)
+	w := make([]float64, n)
+	for i := range ref {
+		ref[i] = rng.NormFloat64()
+		w[i] = ref[i]
+		if i%3 != 0 { // leave every third coordinate unchanged
+			w[i] += rng.NormFloat64()
+		}
+	}
+	idx, vals := TopKDelta(w, ref, n, nil, nil)
+
+	global := make([]float64, n)
+	globalDense := make([]float64, n)
+	for i := range global {
+		global[i] = rng.NormFloat64()
+		globalDense[i] = global[i]
+	}
+	AsyncMixSparse(global, ref, idx, vals, 0.37)
+	AsyncMix(globalDense, w, 0.37)
+	for i := range global {
+		if global[i] != globalDense[i] {
+			t.Fatalf("coordinate %d: sparse %v != dense %v (bitwise)", i, global[i], globalDense[i])
+		}
+	}
+}
+
+func TestAsyncMixSparseOverlay(t *testing.T) {
+	global := []float64{10, 20, 30, 40}
+	ref := []float64{0, 2, 4, 6}
+	// Only index 2 transmitted: the others mix toward ref, not toward w.
+	AsyncMixSparse(global, ref, []uint32{2}, []float64{100}, 0.5)
+	want := []float64{5, 11, 65, 23}
+	for i := range want {
+		if global[i] != want[i] {
+			t.Fatalf("got %v, want %v", global, want)
+		}
+	}
+}
+
+func TestTopKDeltaSelection(t *testing.T) {
+	ref := []float64{0, 0, 0, 0, 0, 0}
+	w := []float64{0.1, -5, 0, 3, -0.2, 3}
+	idx, vals := TopKDelta(w, ref, 3, nil, nil)
+	wantIdx := []uint32{1, 3, 5}
+	if len(idx) != len(wantIdx) {
+		t.Fatalf("selected %v, want indices %v", idx, wantIdx)
+	}
+	for i := range wantIdx {
+		if idx[i] != wantIdx[i] || vals[i] != w[wantIdx[i]] {
+			t.Fatalf("pair %d: (%d,%v), want (%d,%v)", i, idx[i], vals[i], wantIdx[i], w[wantIdx[i]])
+		}
+	}
+	// Ascending order is part of the contract (the wire format requires it).
+	if !sort.SliceIsSorted(idx, func(a, b int) bool { return idx[a] < idx[b] }) {
+		t.Fatalf("indices not ascending: %v", idx)
+	}
+}
+
+func TestTopKDeltaSkipsUnchanged(t *testing.T) {
+	ref := []float64{1, 2, 3}
+	w := []float64{1, 2, 3}
+	idx, vals := TopKDelta(w, ref, 3, nil, nil)
+	if len(idx) != 0 || len(vals) != 0 {
+		t.Fatalf("unchanged model produced pairs: %v %v", idx, vals)
+	}
+	w[1] = 7
+	idx, _ = TopKDelta(w, ref, 3, idx, vals)
+	if len(idx) != 1 || idx[0] != 1 {
+		t.Fatalf("got %v, want [1]", idx)
+	}
+}
+
+func TestTopKDeltaTieBreaking(t *testing.T) {
+	ref := make([]float64, 5)
+	w := []float64{1, -1, 1, -1, 1} // all ties at |d| = 1
+	idx, _ := TopKDelta(w, ref, 3, nil, nil)
+	want := []uint32{0, 1, 2} // index order, deterministically
+	if len(idx) != 3 {
+		t.Fatalf("selected %d pairs, want 3", len(idx))
+	}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("tie-broken indices %v, want %v", idx, want)
+		}
+	}
+}
+
+func TestTopKDeltaDeterministicAndReusesDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 512
+	ref := make([]float64, n)
+	w := make([]float64, n)
+	for i := range ref {
+		ref[i] = rng.NormFloat64()
+		w[i] = ref[i] + rng.NormFloat64()
+	}
+	idx1, vals1 := TopKDelta(w, ref, 32, nil, nil)
+	if len(idx1) != 32 {
+		t.Fatalf("selected %d pairs, want 32", len(idx1))
+	}
+	idx2, vals2 := TopKDelta(w, ref, 32, idx1, vals1)
+	if &idx2[0] != &idx1[0] || &vals2[0] != &vals1[0] {
+		t.Fatal("destination slices were reallocated despite sufficient capacity")
+	}
+	// Selected coordinates really are the 32 largest |w-ref|.
+	mags := make([]float64, n)
+	for i := range mags {
+		d := w[i] - ref[i]
+		if d < 0 {
+			d = -d
+		}
+		mags[i] = d
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(mags)))
+	tau := mags[31]
+	for i, ix := range idx2 {
+		d := w[ix] - ref[ix]
+		if d < 0 {
+			d = -d
+		}
+		if d < tau {
+			t.Fatalf("pair %d (index %d) has |delta| %v below the 32nd largest %v", i, ix, d, tau)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package flnet
 import (
 	"math/rand"
 	"net"
+	"runtime"
 	"testing"
 )
 
@@ -66,4 +67,122 @@ func BenchmarkPushQuantized(b *testing.B) {
 		}
 	}
 	b.SetBytes(n) // one byte per weight on the wire
+}
+
+// BenchmarkServerIngest compares the codecs and wires end to end on the
+// server's ingest path for a 100k-weight model: the legacy gob stream as
+// the baseline, then the binary frame protocol with raw, quantized and
+// top-k sparse payloads, plus a concurrent multi-client run through the
+// batching mixer. Each sub-benchmark reports pushes/s and bytes/round —
+// the server-side uplink bytes actually read per push, the number the
+// sparse codec exists to shrink.
+func BenchmarkServerIngest(b *testing.B) {
+	const n = 100_000
+	const topK = 1000
+	rng := rand.New(rand.NewSource(3))
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	dense := func(c *Client, v int) (int, error) {
+		_, nv, err := c.Push(w, 10, v)
+		return nv, err
+	}
+	cases := []struct {
+		name    string
+		gobOnly bool
+		wire    WireMode
+		push    func(c *Client, v int) (int, error)
+	}{
+		{"gob-raw", true, WireGob, dense},
+		{"binary-raw", false, WireAuto, dense},
+		{"binary-quant", false, WireAuto, func(c *Client, v int) (int, error) {
+			_, nv, err := c.PushQuantized(w, 10, v)
+			return nv, err
+		}},
+		{"binary-sparse-1k", false, WireAuto, func(c *Client, v int) (int, error) {
+			// Every push re-selects the top-k of a fully dense delta (the
+			// acked model moves each round), so this measures selection +
+			// encode + ingest, not an artificially sparse input.
+			_, nv, err := c.PushDelta(w, 10, v, topK)
+			return nv, err
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := NewServerOpts(ln, make([]float64, n), ServerOptions{Alpha: 0.5, GobOnly: tc.gobOnly})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { s.Close() })
+			c, err := DialOptions(s.Addr(), 0, Options{Wire: tc.wire})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { c.Close() })
+			// Bootstrap: seed the sparse reference (a dense fallback push)
+			// outside the timed region so every measured push is sparse.
+			v, err := tc.push(c, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bytesBefore := srvBytesIn.Value()
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if v, err = tc.push(c, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pushes/s")
+			b.ReportMetric(float64(srvBytesIn.Value()-bytesBefore)/float64(b.N), "bytes/round")
+		})
+	}
+
+	// The batched-ingest mixer only shows up under concurrency: one client
+	// per P, all pushing raw binary frames at once.
+	b.Run("binary-raw-multiclient", func(b *testing.B) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := NewServerOpts(ln, make([]float64, n), ServerOptions{Alpha: 0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { s.Close() })
+		nc := runtime.GOMAXPROCS(0)
+		clients := make(chan *Client, nc)
+		for id := 0; id < nc; id++ {
+			c, err := DialOptions(s.Addr(), id, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { c.Close() })
+			clients <- c
+		}
+		bytesBefore := srvBytesIn.Value()
+		b.ResetTimer()
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			c := <-clients
+			defer func() { clients <- c }()
+			v := 0
+			for pb.Next() {
+				var err error
+				if _, v, err = c.Push(w, 10, v); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pushes/s")
+		b.ReportMetric(float64(srvBytesIn.Value()-bytesBefore)/float64(b.N), "bytes/round")
+	})
 }

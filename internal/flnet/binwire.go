@@ -1,0 +1,323 @@
+package flnet
+
+// Binary transport integration: the hot path speaks the length-prefixed
+// frame format of internal/flnet/wire instead of reflection-based gob.
+//
+// Negotiation keeps old and new nodes interoperable with zero configuration:
+//   - The server sniffs the first four bytes of every connection. The frame
+//     magic routes to the binary loop; anything else is a legacy portal's
+//     gob stream and gets the old loop.
+//   - A client opens with a hello frame and waits for the hello-ack. A
+//     binary-capable server acks; a pre-binary server sees garbage gob,
+//     drops the connection, and the client latches into gob for this and
+//     every future reconnect (WireAuto). WireBinary and WireGob pin the
+//     choice for tests and emulations.
+//
+// Both loops decode into per-connection reusable buffers and hand the
+// shared dispatch path zero-copy views where the host allows it; the only
+// gob left on a binary connection is the telemetry trailer, which is
+// off the hot path by construction.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"ecofl/internal/flnet/wire"
+)
+
+// WireMode selects a client's transport encoding.
+type WireMode int
+
+const (
+	// WireAuto (the default) negotiates binary and falls back to gob when
+	// the server does not ack the hello.
+	WireAuto WireMode = iota
+	// WireBinary requires the binary protocol; dialing a gob-only server
+	// fails instead of falling back.
+	WireBinary
+	// WireGob pins the legacy gob protocol (what a pre-binary portal
+	// speaks).
+	WireGob
+)
+
+func (m WireMode) String() string {
+	switch m {
+	case WireBinary:
+		return "binary"
+	case WireGob:
+		return "gob"
+	default:
+		return "auto"
+	}
+}
+
+// clientWire is the per-connection request/reply codec.
+type clientWire interface {
+	writeRequest(*request) error
+	readReply(*reply) error
+	name() string
+}
+
+// WireName reports which encoding the client's current connection speaks
+// ("binary" or "gob").
+func (c *Client) WireName() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.wire == nil {
+		return ""
+	}
+	return c.wire.name()
+}
+
+// gobClientWire is the legacy codec: one gob stream per connection.
+type gobClientWire struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func (g *gobClientWire) writeRequest(req *request) error { return g.enc.Encode(req) }
+func (g *gobClientWire) readReply(rep *reply) error      { return g.dec.Decode(rep) }
+func (g *gobClientWire) name() string                    { return "gob" }
+
+// binClientWire frames requests and replies through reusable buffers: one
+// flush per request, zero-copy raw payloads on little-endian hosts, and a
+// reply decode that allocates only the weights slice whose ownership passes
+// to the caller.
+type binClientWire struct {
+	bw      *bufio.Writer
+	fw      wire.Writer
+	fr      wire.Reader
+	payload []byte       // quant/sparse payload encode scratch
+	telBuf  bytes.Buffer // gob-encoded telemetry trailer scratch
+}
+
+func (b *binClientWire) name() string { return "binary" }
+
+func (b *binClientWire) writeRequest(req *request) error {
+	h := wire.Header{
+		A:   int32(req.ClientID),
+		B:   int32(req.NumSamples),
+		C:   int32(req.BaseVersion),
+		Seq: req.Seq,
+	}
+	var trailer []byte
+	if req.Telemetry != nil {
+		b.telBuf.Reset()
+		if err := gob.NewEncoder(&b.telBuf).Encode(req.Telemetry); err != nil {
+			return err
+		}
+		trailer = b.telBuf.Bytes()
+		h.Flags |= wire.FlagTelemetry
+	}
+	var err error
+	switch req.Kind {
+	case "pull":
+		h.Kind = wire.KindPull
+		err = b.fw.WriteFrame(&h, nil, trailer)
+	case "telemetry":
+		h.Kind = wire.KindTelemetry
+		err = b.fw.WriteFrame(&h, nil, trailer)
+	case "push":
+		h.Kind = wire.KindPush
+		switch {
+		case req.Weights != nil:
+			err = b.fw.WriteRawFrame(&h, req.Weights, trailer)
+		case req.Quant != nil:
+			h.Codec = wire.CodecQuant
+			b.payload = wire.AppendQuant(b.payload[:0], req.Quant.Min, req.Quant.Scale, req.Quant.Data)
+			err = b.fw.WriteFrame(&h, b.payload, trailer)
+		case req.SparseIdx != nil || req.DenseLen > 0:
+			h.Codec = wire.CodecSparse
+			b.payload = wire.AppendSparse(b.payload[:0], req.DenseLen, req.SparseIdx, req.SparseVals)
+			err = b.fw.WriteFrame(&h, b.payload, trailer)
+		default:
+			return errNoPayload
+		}
+	default:
+		return fmt.Errorf("flnet: unknown request kind %q", req.Kind)
+	}
+	if err != nil {
+		return err
+	}
+	return b.bw.Flush()
+}
+
+func (b *binClientWire) readReply(rep *reply) error {
+	h, payload, trailer, err := b.fr.Next()
+	if err != nil {
+		return err
+	}
+	if h.Kind != wire.KindReply {
+		return fmt.Errorf("%w: kind %d where a reply was expected", wire.ErrFrame, h.Kind)
+	}
+	*rep = reply{Version: int(h.A)}
+	if len(trailer) > 0 {
+		rep.Err = string(trailer)
+	}
+	if h.Codec == wire.CodecRaw {
+		if rep.Weights, err = wire.ParseRaw(payload, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// newBinClientWire performs the hello/hello-ack negotiation on a fresh
+// connection and returns the binary codec. Any failure — including a
+// pre-binary server dropping the connection on our hello — is returned for
+// the caller to decide between retry and gob fallback.
+func newBinClientWire(conn net.Conn, cc countingConn, id int, timeout time.Duration, lim wire.Limits) (*binClientWire, error) {
+	b := &binClientWire{
+		bw: bufio.NewWriterSize(cc, 64<<10),
+		fr: wire.Reader{R: bufio.NewReaderSize(cc, 64<<10), Lim: lim},
+	}
+	b.fw.W = b.bw
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout))
+		defer conn.SetDeadline(time.Time{})
+	}
+	hello := wire.Header{Kind: wire.KindHello, A: int32(id)}
+	// The hello is padded past 70 bytes on purpose: a pre-binary server's
+	// gob decoder reads the magic's 'E' (0x45) as a 69-byte message length,
+	// and with only the 36-byte bare frame on the wire it would block
+	// waiting for the rest until our deadline. With the padding the fake
+	// message completes at once, fails to parse, and the server drops the
+	// connection — so the gob fallback latches immediately instead of after
+	// a full round-trip timeout.
+	var helloPad [64]byte
+	if err := b.fw.WriteFrame(&hello, nil, helloPad[:]); err != nil {
+		return nil, err
+	}
+	if err := b.bw.Flush(); err != nil {
+		return nil, err
+	}
+	h, _, _, err := b.fr.Next()
+	if err != nil {
+		return nil, err
+	}
+	if h.Kind != wire.KindHelloAck {
+		return nil, fmt.Errorf("%w: kind %d where hello-ack was expected", wire.ErrFrame, h.Kind)
+	}
+	return b, nil
+}
+
+// handleBinary is the server's frame loop: hello-ack first, then
+// request/reply frames decoded into per-connection reusable buffers. Any
+// framing violation fails the connection closed (the format has no resync
+// point, and a reconnecting portal re-negotiates from scratch).
+func (s *Server) handleBinary(conn net.Conn, cc countingConn, br *bufio.Reader) {
+	srvConnsBinary.Inc()
+	fr := wire.Reader{R: br, Lim: wire.Limits{MaxPayload: s.opts.MaxPayload}}
+	bw := bufio.NewWriterSize(cc, 64<<10)
+	fw := wire.Writer{W: bw}
+
+	h, _, _, err := fr.Next()
+	if err != nil || h.Kind != wire.KindHello {
+		srvDecodeErrors.Inc()
+		return
+	}
+	if s.opts.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+	}
+	ack := wire.Header{Kind: wire.KindHelloAck}
+	if fw.WriteFrame(&ack, nil, nil) != nil || bw.Flush() != nil {
+		return
+	}
+
+	job := s.newIngestJob()
+	var (
+		req        request
+		quant      Quantized
+		weightsBuf []float64 // raw-payload decode scratch (big-endian hosts)
+		idxBuf     []uint32
+		valBuf     []float64
+	)
+	for {
+		if s.opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
+		h, payload, trailer, err := fr.Next()
+		if err != nil {
+			if err != io.EOF {
+				srvDecodeErrors.Inc()
+			}
+			return
+		}
+		t0 := time.Now()
+		req = request{
+			ClientID:    int(h.A),
+			Seq:         h.Seq,
+			NumSamples:  int(h.B),
+			BaseVersion: int(h.C),
+		}
+		switch h.Kind {
+		case wire.KindPull:
+			req.Kind = "pull"
+		case wire.KindTelemetry:
+			req.Kind = "telemetry"
+		case wire.KindPush:
+			req.Kind = "push"
+			switch h.Codec {
+			case wire.CodecRaw:
+				// The view aliases the frame buffer; safe because the
+				// mixer completes before the next frame is read.
+				if v, ok := wire.RawView(payload); ok {
+					req.Weights = v
+				} else if weightsBuf, err = wire.ParseRaw(payload, weightsBuf); err == nil {
+					req.Weights = weightsBuf
+				}
+			case wire.CodecQuant:
+				var min, scale float64
+				var data []byte
+				if min, scale, data, err = wire.ParseQuant(payload); err == nil {
+					quant = Quantized{Min: min, Scale: scale, Data: data}
+					req.Quant = &quant
+				}
+			case wire.CodecSparse:
+				if req.DenseLen, idxBuf, valBuf, err = wire.ParseSparse(payload, idxBuf, valBuf); err == nil {
+					req.SparseIdx, req.SparseVals = idxBuf, valBuf
+				}
+			}
+			if err != nil {
+				srvDecodeErrors.Inc()
+				return
+			}
+		default:
+			// Hello mid-stream, a reply, or a future kind: protocol
+			// violation, fail closed.
+			srvDecodeErrors.Inc()
+			return
+		}
+		if h.Flags&wire.FlagTelemetry != 0 && len(trailer) > 0 {
+			var snap TelemetrySnapshot
+			if gob.NewDecoder(bytes.NewReader(trailer)).Decode(&snap) != nil {
+				srvDecodeErrors.Inc()
+				return
+			}
+			req.Telemetry = &snap
+		}
+		rep := s.dispatch(&req, job)
+		if s.opts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		}
+		rh := wire.Header{Kind: wire.KindReply, A: int32(rep.Version)}
+		var errTrailer []byte
+		if rep.Err != "" {
+			errTrailer = []byte(rep.Err)
+		}
+		if rep.Weights != nil {
+			err = fw.WriteRawFrame(&rh, rep.Weights, errTrailer)
+		} else {
+			err = fw.WriteFrame(&rh, nil, errTrailer)
+		}
+		if err != nil || bw.Flush() != nil {
+			return
+		}
+		srvRequestSeconds.Observe(time.Since(t0).Seconds())
+	}
+}

@@ -47,12 +47,22 @@ type soakHarness struct {
 	s       *Server
 	clients []*Client
 	rounds  int
+	// push, when set, replaces the plain dense Push for every client — the
+	// codec interop tests route rounds through PushQuantized or PushDelta
+	// this way and still ride the same deterministic schedule.
+	push func(c *Client, update []float64, base int) ([]float64, int, error)
 }
 
 // newSoakHarness dials soakClients portals; dialer (optional) supplies a
 // fault-injecting link per client. Retries are effectively unbounded so a
 // push only fails the test if the transport truly cannot recover.
 func newSoakHarness(t *testing.T, s *Server, dialer func(id int) Dialer) *soakHarness {
+	return newSoakHarnessOpts(t, s, dialer, nil)
+}
+
+// newSoakHarnessOpts additionally lets mod customize each client's Options —
+// the mixed-version interop tests pin per-client wire modes through it.
+func newSoakHarnessOpts(t *testing.T, s *Server, dialer func(id int) Dialer, mod func(id int, o *Options)) *soakHarness {
 	t.Helper()
 	h := &soakHarness{t: t, s: s}
 	for id := 0; id < soakClients; id++ {
@@ -64,6 +74,9 @@ func newSoakHarness(t *testing.T, s *Server, dialer func(id int) Dialer) *soakHa
 		}
 		if dialer != nil {
 			opts.Dialer = dialer(id)
+		}
+		if mod != nil {
+			mod(id, &opts)
 		}
 		c, err := DialOptions(s.Addr(), id, opts)
 		if err != nil {
@@ -83,7 +96,12 @@ func (h *soakHarness) runRound() {
 		if err != nil {
 			h.t.Fatalf("round %d client %d pull: %v", r, id, err)
 		}
-		if _, _, err := c.Push(soakUpdate(id, r), 1, base); err != nil {
+		if h.push != nil {
+			_, _, err = h.push(c, soakUpdate(id, r), base)
+		} else {
+			_, _, err = c.Push(soakUpdate(id, r), 1, base)
+		}
+		if err != nil {
 			h.t.Fatalf("round %d client %d push: %v", r, id, err)
 		}
 	}

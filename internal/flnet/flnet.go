@@ -1,11 +1,15 @@
 // Package flnet is the wire protocol between Eco-FL portal nodes and the
-// Eco-FL server: a minimal TCP + gob transport over which a portal pulls
-// the current global (or group) model and pushes its locally trained update,
-// receiving the freshly mixed model in return. The server applies the
-// asynchronous aggregation of §5.1 — w ← (1−α)w + α·w_new with a
-// staleness-attenuated α — under a mutex, so any number of portals can push
-// concurrently. This is the "prototype" transport counterpart of the
-// virtual-time simulator in internal/fl.
+// Eco-FL server: a TCP transport over which a portal pulls the current
+// global (or group) model and pushes its locally trained update, receiving
+// the freshly mixed model in return. The hot path speaks the length-prefixed
+// binary framing of internal/flnet/wire (raw, quantized or top-k sparse
+// payloads), negotiated per connection with a latched gob fallback so
+// pre-binary portals and servers interoperate unchanged. The server applies
+// the asynchronous aggregation of §5.1 — w ← (1−α)w + α·w_new with a
+// staleness-attenuated α — under a mutex amortized by a batching ingest
+// mixer, so any number of portals can push concurrently. This is the
+// "prototype" transport counterpart of the virtual-time simulator in
+// internal/fl.
 //
 // The transport assumes the network fails: every round trip runs under a
 // deadline, the client transparently reconnects with exponential backoff,
@@ -19,10 +23,13 @@
 package flnet
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net"
 	"sync"
@@ -30,6 +37,8 @@ import (
 	"time"
 
 	"ecofl/internal/fl"
+	"ecofl/internal/flnet/wire"
+	"ecofl/internal/tensor"
 )
 
 // request is the client→server message. A push carries either raw Weights
@@ -48,6 +57,15 @@ type request struct {
 	NumSamples  int
 	BaseVersion int
 	Telemetry   *TelemetrySnapshot
+	// Sparse-overlay push payload (PR 6): the new values at the strictly
+	// ascending indices SparseIdx of a model DenseLen long, relative to the
+	// reference model this client was last acked with (BaseVersion must
+	// match the ack's version). Mutually exclusive with Weights/Quant.
+	// Wire-level validation happens in the binary codec; applyLocked
+	// re-validates because the same fields can arrive via gob.
+	SparseIdx  []uint32
+	SparseVals []float64
+	DenseLen   int
 }
 
 // reply is the server→client message.
@@ -79,6 +97,18 @@ type ServerOptions struct {
 	// (a reply lost after the update was applied is the case that makes
 	// push dedup a correctness requirement).
 	WrapConn func(net.Conn) net.Conn
+	// GobOnly disables binary-frame sniffing, emulating a pre-PR6 server:
+	// every connection is treated as a gob stream, so a binary client's
+	// hello is a decode error and the client falls back to gob (the
+	// mixed-version interop tests exercise exactly this).
+	GobOnly bool
+	// MaxPayload caps the payload length a binary frame may claim, in
+	// bytes. 0 means the wire default (128 MiB).
+	MaxPayload int
+	// IngestBatch caps how many queued pushes the ingest mixer applies per
+	// lock acquisition. 0 means 32; negative disables the mixer entirely
+	// (every push takes the model lock itself, the pre-PR6 behaviour).
+	IngestBatch int
 }
 
 // DefaultTimeout is the default per-round-trip deadline on both ends.
@@ -88,7 +118,19 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	if o.WriteTimeout == 0 {
 		o.WriteTimeout = DefaultTimeout
 	}
+	if o.IngestBatch == 0 {
+		o.IngestBatch = 32
+	}
 	return o
+}
+
+// ingestJob is one decoded push waiting for the mixer. done is owned by the
+// submitting handler and reused across its connection's lifetime.
+type ingestJob struct {
+	req     *request
+	rep     reply
+	applied bool
+	done    chan *ingestJob
 }
 
 // Server owns the global model and serves pull/push requests.
@@ -102,6 +144,15 @@ type Server struct {
 	ln    net.Listener
 	wg    sync.WaitGroup
 	fleet *Fleet
+
+	// Batched ingest: handler goroutines enqueue decoded pushes here and a
+	// single mixer goroutine applies them, draining up to opts.IngestBatch
+	// per model-lock acquisition so N concurrent portals cost ~1 lock per
+	// batch instead of 1 per push. Arrival order is preserved (one queue,
+	// one consumer), so aggregation is exactly as deterministic as the
+	// mutex it amortizes. nil when the mixer is disabled.
+	ingestCh chan *ingestJob
+	mixerWG  sync.WaitGroup
 
 	// connMu guards the open-connection set so Close can sever handlers
 	// blocked in Decode on live-but-idle portals.
@@ -158,9 +209,58 @@ func NewServerOpts(ln net.Listener, init []float64, opts ServerOptions) (*Server
 		}
 		srvCkptResumes.Inc()
 	}
+	if opts.IngestBatch > 0 {
+		s.ingestCh = make(chan *ingestJob, 4*opts.IngestBatch)
+		s.mixerWG.Add(1)
+		go s.mixerLoop()
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// mixerLoop drains queued pushes, applying up to opts.IngestBatch of them
+// per model-lock acquisition. It exits when the ingest channel closes
+// (Close, after every handler has returned).
+func (s *Server) mixerLoop() {
+	defer s.mixerWG.Done()
+	batch := make([]*ingestJob, 0, s.opts.IngestBatch)
+	for job := range s.ingestCh {
+		batch = append(batch[:0], job)
+	drain:
+		for len(batch) < s.opts.IngestBatch {
+			select {
+			case j, ok := <-s.ingestCh:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, j)
+			default:
+				break drain
+			}
+		}
+		s.mu.Lock()
+		for _, j := range batch {
+			j.rep, j.applied = s.applyPushLocked(j.req)
+		}
+		s.mu.Unlock()
+		srvIngestBatch.Observe(float64(len(batch)))
+		for _, j := range batch {
+			j.done <- j
+		}
+	}
+}
+
+// submitPush routes one push through the mixer, reusing the handler-owned
+// job, or applies it directly when the mixer is disabled.
+func (s *Server) submitPush(req *request, job *ingestJob) (reply, bool) {
+	if s.ingestCh == nil || job == nil {
+		return s.applyPush(req)
+	}
+	job.req = req
+	s.ingestCh <- job
+	<-job.done
+	return job.rep, job.applied
 }
 
 // Addr returns the listen address, e.g. to hand to Dial.
@@ -178,6 +278,12 @@ func (s *Server) Close() error {
 	}
 	s.connMu.Unlock()
 	s.wg.Wait()
+	// All handlers have returned, so nothing can enqueue anymore; drain the
+	// mixer and wait it out.
+	if s.ingestCh != nil {
+		close(s.ingestCh)
+		s.mixerWG.Wait()
+	}
 	return err
 }
 
@@ -243,6 +349,10 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// handle serves one portal connection. The first four bytes decide the
+// protocol: a binary-frame magic routes to the frame loop, anything else
+// (a legacy portal's gob stream) to the gob loop. With GobOnly the sniff is
+// skipped entirely, emulating a pre-binary server.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	if !s.trackConn(conn) {
@@ -250,8 +360,32 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	defer s.untrackConn(conn)
 	cc := countingConn{Conn: conn, in: srvBytesIn, out: srvBytesOut}
-	dec := gob.NewDecoder(cc)
+	br := bufio.NewReaderSize(cc, 64<<10)
+	if !s.opts.GobOnly {
+		if s.opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
+		head, err := br.Peek(len(wire.Magic))
+		if err != nil {
+			if err != io.EOF {
+				srvDecodeErrors.Inc()
+			}
+			return
+		}
+		if bytes.Equal(head, wire.Magic[:]) {
+			s.handleBinary(conn, cc, br)
+			return
+		}
+	}
+	s.handleGob(conn, cc, br)
+}
+
+// handleGob is the legacy request loop: one gob stream per connection.
+func (s *Server) handleGob(conn net.Conn, cc countingConn, br *bufio.Reader) {
+	srvConnsGob.Inc()
+	dec := gob.NewDecoder(br)
 	enc := gob.NewEncoder(cc)
+	job := s.newIngestJob()
 	for {
 		if s.opts.IdleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
@@ -267,35 +401,7 @@ func (s *Server) handle(conn net.Conn) {
 			return // connection done
 		}
 		t0 := time.Now()
-		var rep reply
-		switch req.Kind {
-		case "pull":
-			srvRequestsPull.Inc()
-			rep.Weights, rep.Version = s.Snapshot()
-		case "push":
-			srvRequestsPush.Inc()
-			if req.Quant != nil {
-				srvPayloadQuant.Inc()
-			} else if req.Weights != nil {
-				srvPayloadRaw.Inc()
-			}
-			var applied bool
-			rep, applied = s.applyPush(&req)
-			if applied {
-				s.fleet.observePush(req.ClientID)
-			}
-		case "telemetry":
-			srvRequestsTelemetry.Inc()
-			if req.Telemetry == nil {
-				rep.Err = "flnet: telemetry request carries no snapshot"
-			}
-		default:
-			srvRequestsBad.Inc()
-			rep.Err = fmt.Sprintf("flnet: unknown request kind %q", req.Kind)
-		}
-		if req.Telemetry != nil {
-			s.fleet.ingest(req.Telemetry)
-		}
+		rep := s.dispatch(&req, job)
 		if s.opts.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
 		}
@@ -304,6 +410,46 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		srvRequestSeconds.Observe(time.Since(t0).Seconds())
 	}
+}
+
+// newIngestJob returns the handler-owned mixer job, or nil when the mixer
+// is disabled.
+func (s *Server) newIngestJob() *ingestJob {
+	if s.ingestCh == nil {
+		return nil
+	}
+	return &ingestJob{done: make(chan *ingestJob, 1)}
+}
+
+// dispatch answers one decoded request. It is shared by the gob and binary
+// loops; only payload decode and reply encode differ between them.
+func (s *Server) dispatch(req *request, job *ingestJob) reply {
+	var rep reply
+	switch req.Kind {
+	case "pull":
+		srvRequestsPull.Inc()
+		rep.Weights, rep.Version = s.Snapshot()
+	case "push":
+		srvRequestsPush.Inc()
+		countPushPayload(req)
+		var applied bool
+		rep, applied = s.submitPush(req, job)
+		if applied {
+			s.fleet.observePush(req.ClientID)
+		}
+	case "telemetry":
+		srvRequestsTelemetry.Inc()
+		if req.Telemetry == nil {
+			rep.Err = "flnet: telemetry request carries no snapshot"
+		}
+	default:
+		srvRequestsBad.Inc()
+		rep.Err = fmt.Sprintf("flnet: unknown request kind %q", req.Kind)
+	}
+	if req.Telemetry != nil {
+		s.fleet.ingest(req.Telemetry)
+	}
+	return rep
 }
 
 // applyPush mixes one push into the global model, deduplicating retries:
@@ -315,6 +461,12 @@ func (s *Server) handle(conn net.Conn) {
 func (s *Server) applyPush(req *request) (rep reply, applied bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.applyPushLocked(req)
+}
+
+// applyPushLocked is applyPush for callers already holding s.mu (the ingest
+// mixer, which amortizes the lock across a batch of decoded pushes).
+func (s *Server) applyPushLocked(req *request) (rep reply, applied bool) {
 	if req.Seq > 0 && req.Seq <= s.lastSeq[req.ClientID] {
 		s.deduped++
 		srvDedupedPushes.Inc()
@@ -339,25 +491,82 @@ func (s *Server) applyPush(req *request) (rep reply, applied bool) {
 	return rep, true
 }
 
-// applyLocked mixes the update into the global model. Caller holds s.mu.
+// sparseBaseMismatch prefixes the rejection of a sparse push whose
+// reference model the server no longer holds (no ack for the client, an ack
+// at a different version, or a dedup window lost to a restart). The client
+// recognizes it and falls back to a dense push — a re-sync, not an error.
+const sparseBaseMismatch = "flnet: sparse base mismatch"
+
+// applyLocked mixes the update into the global model without intermediate
+// copies: raw updates (including zero-copy views of a binary frame's
+// payload buffer) are mixed in place, quantized updates dequantize into
+// pooled scratch, and sparse overlays mix straight against the client's
+// last-acked reference. Caller holds s.mu.
 func (s *Server) applyLocked(req *request) error {
-	update := req.Weights
-	if update == nil {
-		if req.Quant == nil {
-			return errNoPayload
+	n := len(s.weights)
+	alpha := fl.StalenessAlpha(s.Alpha, float64(s.version-req.BaseVersion), s.StalenessExp)
+	switch {
+	case req.Weights != nil:
+		if len(req.Weights) != n {
+			return fmt.Errorf("flnet: update has %d weights, model has %d", len(req.Weights), n)
 		}
-		update = req.Quant.Dequantize()
+		fl.AsyncMix(s.weights, req.Weights, alpha)
+	case req.Quant != nil:
+		if len(req.Quant.Data) != n {
+			return fmt.Errorf("flnet: quantized update has %d weights, model has %d", len(req.Quant.Data), n)
+		}
+		t := tensor.GetBufUninit(n)
+		fl.AsyncMix(s.weights, req.Quant.DequantizeInto(t.Data), alpha)
+		tensor.PutBuf(t)
+	case req.SparseIdx != nil || req.DenseLen > 0:
+		ref, err := s.sparseRefLocked(req)
+		if err != nil {
+			return err
+		}
+		fl.AsyncMixSparse(s.weights, ref, req.SparseIdx, req.SparseVals, alpha)
+	default:
+		return errNoPayload
 	}
-	req.Weights = update
-	if len(req.Weights) != len(s.weights) {
-		return fmt.Errorf("flnet: update has %d weights, model has %d", len(req.Weights), len(s.weights))
-	}
-	staleness := float64(s.version - req.BaseVersion)
-	alpha := fl.StalenessAlpha(s.Alpha, staleness, s.StalenessExp)
-	fl.AsyncMix(s.weights, req.Weights, alpha)
 	s.version++
 	s.pushes++
 	return nil
+}
+
+// sparseRefLocked validates a sparse push and returns the reference model
+// it overlays. The binary codec already validated the payload shape, but
+// the same request fields can arrive via gob from an arbitrary peer, so
+// everything is re-checked here: this is the last gate before training
+// state. Caller holds s.mu.
+func (s *Server) sparseRefLocked(req *request) ([]float64, error) {
+	n := len(s.weights)
+	if req.DenseLen != n {
+		return nil, fmt.Errorf("flnet: sparse update claims %d weights, model has %d", req.DenseLen, n)
+	}
+	if len(req.SparseIdx) != len(req.SparseVals) {
+		return nil, fmt.Errorf("flnet: sparse update has %d indices, %d values", len(req.SparseIdx), len(req.SparseVals))
+	}
+	prev := int64(-1)
+	for _, ix := range req.SparseIdx {
+		if int64(ix) <= prev || int(ix) >= n {
+			return nil, fmt.Errorf("flnet: sparse index %d out of order or range", ix)
+		}
+		prev = int64(ix)
+	}
+	for _, v := range req.SparseVals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, errors.New("flnet: non-finite sparse value")
+		}
+	}
+	ack, ok := s.lastAck[req.ClientID]
+	if !ok || ack.Version != req.BaseVersion || len(ack.Weights) != n {
+		srvSparseRejects.Inc()
+		have := -1
+		if ok {
+			have = ack.Version
+		}
+		return nil, fmt.Errorf("%s: push built on v%d, server ack window holds v%d", sparseBaseMismatch, req.BaseVersion, have)
+	}
+	return ack.Weights, nil
 }
 
 // ErrClosed is returned by round trips on a closed client.
@@ -372,12 +581,32 @@ type Client struct {
 	addr string
 	opts Options
 
-	mu  sync.Mutex // serializes round trips; guards enc/dec, tel, seq, rng
-	enc *gob.Encoder
-	dec *gob.Decoder
-	tel *telemetryState // nil until EnableTelemetry
-	seq uint64          // last assigned push sequence number
-	rng *rand.Rand      // backoff jitter stream
+	mu   sync.Mutex      // serializes round trips; guards codec, tel, seq, rng
+	wire clientWire      // per-connection request/reply codec (binary or gob)
+	tel  *telemetryState // nil until EnableTelemetry
+	seq  uint64          // last assigned push sequence number
+	rng  *rand.Rand      // backoff jitter stream
+
+	// gobFallback is latched when a binary hello is rejected by the peer
+	// (a pre-binary server): every later reconnect goes straight to gob
+	// instead of re-probing.
+	gobFallback bool
+
+	// scratchMu guards the push-side encode scratch (the reusable
+	// quantization buffer and the sparse delta buffers) across concurrent
+	// Push* calls; round trips themselves serialize on mu.
+	scratchMu sync.Mutex
+	qbuf      Quantized
+	sparseIdx []uint32
+	sparseVal []float64
+
+	// refMu guards the sparse reference: a private copy of the weights this
+	// client was last acked with, mirroring the server's dedup-window entry.
+	// Maintained only once PushDelta has been used (EnableDeltaRef).
+	refMu    sync.Mutex
+	trackRef bool
+	refW     []float64
+	refV     int
 
 	// connMu guards the conn pointer against the Close race so a close
 	// can sever an in-flight attempt without waiting for its deadline.
@@ -441,6 +670,7 @@ func (c *Client) roundTrip(req *request) (*reply, error) {
 	if req.Kind == "push" && req.Seq == 0 {
 		c.seq++
 		req.Seq = c.seq
+		countClientPushPayload(req)
 	}
 	if c.tel != nil && req.Telemetry == nil && req.Kind != "pull" {
 		req.Telemetry = c.telemetrySnapshotLocked()
@@ -470,10 +700,27 @@ func (c *Client) roundTrip(req *request) (*reply, error) {
 				// deterministic and must not be retried.
 				return nil, errors.New(rep.Err)
 			}
+			if req.Kind == "push" && rep.Weights != nil {
+				c.noteAck(rep)
+			}
 			return rep, nil
 		}
 		lastErr = err
 	}
+}
+
+// noteAck mirrors the server's dedup-window entry on the client: the acked
+// weights are this client's sparse reference for its next PushDelta. The
+// copy is deliberate — the caller owns the returned slice and may mutate
+// it, but the reference must stay bit-identical to what the server stored.
+func (c *Client) noteAck(rep *reply) {
+	c.refMu.Lock()
+	defer c.refMu.Unlock()
+	if !c.trackRef {
+		return
+	}
+	c.refW = append(c.refW[:0], rep.Weights...)
+	c.refV = rep.Version
 }
 
 // attemptLocked runs one encode/decode round trip under the deadline.
@@ -488,11 +735,11 @@ func (c *Client) attemptLocked(req *request) (*reply, error) {
 	if c.opts.Timeout > 0 {
 		conn.SetDeadline(time.Now().Add(c.opts.Timeout))
 	}
-	if err := c.enc.Encode(req); err != nil {
+	if err := c.wire.writeRequest(req); err != nil {
 		return nil, err
 	}
 	var rep reply
-	if err := c.dec.Decode(&rep); err != nil {
+	if err := c.wire.readReply(&rep); err != nil {
 		return nil, err
 	}
 	if c.opts.Timeout > 0 {

@@ -46,6 +46,25 @@ func FuzzRequestDecode(f *testing.F) {
 		Metrics: []MetricPoint{{Family: `bad{family`, Labels: []string{"odd"}, Kind: "gauge"}},
 	}}))
 	f.Add(seed(&request{Kind: "push", Weights: []float64{1, 2}, NumSamples: 3}))
+	// Sparse-overlay pushes arriving via gob bypass the binary codec's
+	// validation, so applyPush's own gate is what the fuzzer hammers here:
+	// a well-formed overlay (rejected only for the missing ack window), and
+	// hostile ones — unsorted and out-of-range indices, NaN/Inf values,
+	// mismatched pair counts, a dense-length lie.
+	f.Add(seed(&request{Kind: "push", ClientID: 1, Seq: 1, DenseLen: 2,
+		SparseIdx: []uint32{0}, SparseVals: []float64{1.5}, NumSamples: 1}))
+	f.Add(seed(&request{Kind: "push", ClientID: 1, Seq: 1, DenseLen: 2,
+		SparseIdx: []uint32{1, 0}, SparseVals: []float64{1, 2}, NumSamples: 1}))
+	f.Add(seed(&request{Kind: "push", ClientID: 1, Seq: 1, DenseLen: 2,
+		SparseIdx: []uint32{7}, SparseVals: []float64{1}, NumSamples: 1}))
+	f.Add(seed(&request{Kind: "push", ClientID: 1, Seq: 1, DenseLen: 2,
+		SparseIdx: []uint32{0}, SparseVals: []float64{math.NaN()}, NumSamples: 1}))
+	f.Add(seed(&request{Kind: "push", ClientID: 1, Seq: 1, DenseLen: 2,
+		SparseIdx: []uint32{0, 1}, SparseVals: []float64{math.Inf(1), 0}, NumSamples: 1}))
+	f.Add(seed(&request{Kind: "push", ClientID: 1, Seq: 1, DenseLen: 1 << 30,
+		SparseIdx: []uint32{0}, SparseVals: []float64{1}, NumSamples: 1}))
+	f.Add(seed(&request{Kind: "push", ClientID: 1, Seq: 1, DenseLen: 2,
+		SparseIdx: []uint32{0, 1}, SparseVals: []float64{1}, NumSamples: 1}))
 	// The retry wire patterns: the same Seq pushed twice back to back (an ack
 	// lost in flight), and a stale straggler Seq after a newer one landed.
 	f.Add(seed(

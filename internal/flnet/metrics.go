@@ -2,7 +2,9 @@ package flnet
 
 import (
 	"net"
+	"sync/atomic"
 
+	"ecofl/internal/flnet/wire"
 	"ecofl/internal/metrics"
 )
 
@@ -57,7 +59,118 @@ var (
 		"fresh connections dialed to replace a failed one")
 	srvDedupedPushes = metrics.GetCounter("ecofl_flnet_server_deduped_pushes_total",
 		"retried pushes acked from the dedup window instead of mixed again")
+
+	// Wire-protocol instrumentation (binary framing, codecs, batched
+	// ingest): which protocol each connection negotiated, how full the
+	// mixer's batches run, and how many payload bytes each codec moved
+	// versus what raw float64 would have cost — the direct measure of the
+	// wire savings /fleet and /dash surface.
+	srvConnsGob = metrics.GetCounter("ecofl_flnet_server_conns_total",
+		"portal connections accepted by negotiated protocol", "proto", "gob")
+	srvConnsBinary = metrics.GetCounter("ecofl_flnet_server_conns_total",
+		"portal connections accepted by negotiated protocol", "proto", "binary")
+	srvIngestBatch = metrics.GetHistogram("ecofl_flnet_server_ingest_batch_size",
+		"pushes applied per mixer lock acquisition",
+		[]float64{1, 2, 4, 8, 16, 32, 64})
+	srvSparseRejects = metrics.GetCounter("ecofl_flnet_server_sparse_rejects_total",
+		"sparse pushes rejected for a base-version mismatch (client re-syncs dense)")
+	srvPayloadSparse = metrics.GetCounter("ecofl_flnet_server_push_payload_total",
+		"push payloads received by encoding", "encoding", "sparse")
+
+	srvPayloadBytesRaw = metrics.GetCounter("ecofl_flnet_server_payload_bytes_total",
+		"logical push payload bytes ingested by codec", "codec", "raw")
+	srvPayloadBytesQuant = metrics.GetCounter("ecofl_flnet_server_payload_bytes_total",
+		"logical push payload bytes ingested by codec", "codec", "quantized")
+	srvPayloadBytesSparse = metrics.GetCounter("ecofl_flnet_server_payload_bytes_total",
+		"logical push payload bytes ingested by codec", "codec", "sparse")
+	cliPayloadBytesRaw = metrics.GetCounter("ecofl_flnet_client_payload_bytes_total",
+		"logical push payload bytes sent by codec", "codec", "raw")
+	cliPayloadBytesQuant = metrics.GetCounter("ecofl_flnet_client_payload_bytes_total",
+		"logical push payload bytes sent by codec", "codec", "quantized")
+	cliPayloadBytesSparse = metrics.GetCounter("ecofl_flnet_client_payload_bytes_total",
+		"logical push payload bytes sent by codec", "codec", "sparse")
+
+	cliWireFallbacks = metrics.GetCounter("ecofl_flnet_client_wire_fallbacks_total",
+		"binary hellos rejected, latching the client into gob")
+	cliSparseFallbacks = metrics.GetCounter("ecofl_flnet_client_sparse_fallbacks_total",
+		"sparse pushes sent dense instead (no reference, sparsity unprofitable, or base rejected)")
+
+	srvCompressionRatio = compressionGauge{g: metrics.GetGauge(
+		"ecofl_flnet_server_push_compression_ratio",
+		"raw-equivalent bytes ÷ actual payload bytes across all ingested pushes")}
+	cliCompressionRatio = compressionGauge{g: metrics.GetGauge(
+		"ecofl_flnet_client_push_compression_ratio",
+		"raw-equivalent bytes ÷ actual payload bytes across all sent pushes")}
 )
+
+// compressionGauge tracks cumulative raw-equivalent vs actual payload bytes
+// and publishes their ratio: 1.0 for an all-raw workload, ≈8 for quantized,
+// higher still for sparse deltas.
+type compressionGauge struct {
+	raw, actual atomic.Int64
+	g           *metrics.Gauge
+}
+
+func (c *compressionGauge) add(rawBytes, actualBytes int) {
+	r := c.raw.Add(int64(rawBytes))
+	a := c.actual.Add(int64(actualBytes))
+	if a > 0 {
+		c.g.Set(float64(r) / float64(a))
+	}
+}
+
+// pushPayloadSize returns the logical payload bytes of a push under its
+// codec and under the raw-float64 baseline — identical numbers whichever
+// wire (binary or legacy gob) carried the request, so the compression
+// metrics compare codecs, not framings.
+func pushPayloadSize(req *request) (actual, rawEquiv int) {
+	switch {
+	case req.Weights != nil:
+		n := 8 * len(req.Weights)
+		return n, n
+	case req.Quant != nil:
+		return wire.QuantSize(len(req.Quant.Data)), 8 * len(req.Quant.Data)
+	case req.SparseIdx != nil || req.DenseLen > 0:
+		return wire.SparseSize(len(req.SparseIdx)), 8 * req.DenseLen
+	}
+	return 0, 0
+}
+
+// countPushPayload records a push's per-codec payload counters server-side.
+func countPushPayload(req *request) {
+	actual, rawEquiv := pushPayloadSize(req)
+	switch {
+	case req.Weights != nil:
+		srvPayloadRaw.Inc()
+		srvPayloadBytesRaw.Add(int64(actual))
+	case req.Quant != nil:
+		srvPayloadQuant.Inc()
+		srvPayloadBytesQuant.Add(int64(actual))
+	case req.SparseIdx != nil || req.DenseLen > 0:
+		srvPayloadSparse.Inc()
+		srvPayloadBytesSparse.Add(int64(actual))
+	default:
+		return
+	}
+	srvCompressionRatio.add(rawEquiv, actual)
+}
+
+// countClientPushPayload is the client-side mirror, recorded once per
+// logical push (not per retry).
+func countClientPushPayload(req *request) {
+	actual, rawEquiv := pushPayloadSize(req)
+	switch {
+	case req.Weights != nil:
+		cliPayloadBytesRaw.Add(int64(actual))
+	case req.Quant != nil:
+		cliPayloadBytesQuant.Add(int64(actual))
+	case req.SparseIdx != nil || req.DenseLen > 0:
+		cliPayloadBytesSparse.Add(int64(actual))
+	default:
+		return
+	}
+	cliCompressionRatio.add(rawEquiv, actual)
+}
 
 // countingConn counts every byte crossing a net.Conn into a counter pair.
 type countingConn struct {

@@ -17,19 +17,36 @@ type Quantized struct {
 
 // Quantize encodes w. A constant vector quantizes with Scale 0.
 func Quantize(w []float64) *Quantized {
+	return QuantizeInto(w, &Quantized{})
+}
+
+// QuantizeInto encodes w into q, reusing q.Data's capacity — the
+// destination-passing variant for hot paths that quantize every push
+// (same discipline as the tensor buffer pool: the caller owns and recycles
+// the storage). Returns q.
+func QuantizeInto(w []float64, q *Quantized) *Quantized {
+	if cap(q.Data) < len(w) {
+		q.Data = make([]uint8, len(w))
+	}
+	q.Data = q.Data[:len(w)]
+	q.Min, q.Scale = 0, 0
 	if len(w) == 0 {
-		return &Quantized{}
+		return q
 	}
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, v := range w {
 		lo = math.Min(lo, v)
 		hi = math.Max(hi, v)
 	}
-	q := &Quantized{Min: lo, Data: make([]uint8, len(w))}
+	q.Min = lo
 	if hi > lo {
 		q.Scale = (hi - lo) / 255
 		for i, v := range w {
 			q.Data[i] = uint8(math.Round((v - lo) / q.Scale))
+		}
+	} else {
+		for i := range q.Data {
+			q.Data[i] = 0
 		}
 	}
 	return q
@@ -37,21 +54,32 @@ func Quantize(w []float64) *Quantized {
 
 // Dequantize reconstructs the vector (max error Scale/2 per element).
 func (q *Quantized) Dequantize() []float64 {
-	out := make([]float64, len(q.Data))
+	return q.DequantizeInto(make([]float64, len(q.Data)))
+}
+
+// DequantizeInto reconstructs the vector into dst, which must have
+// len(q.Data) elements — the destination-passing variant the server's
+// ingest path uses with pooled scratch instead of allocating per push.
+func (q *Quantized) DequantizeInto(dst []float64) []float64 {
+	dst = dst[:len(q.Data)]
 	for i, b := range q.Data {
-		out[i] = q.Min + float64(b)*q.Scale
+		dst[i] = q.Min + float64(b)*q.Scale
 	}
-	return out
+	return dst
 }
 
 // MaxError returns the worst-case reconstruction error per element.
 func (q *Quantized) MaxError() float64 { return q.Scale / 2 }
 
 // PushQuantized submits a quantized update; the server dequantizes before
-// mixing. The returned global model is full precision.
+// mixing. The returned global model is full precision. The quantization
+// buffer is owned by the client and reused across pushes (QuantizeInto), so
+// a steady-state quantized uplink does not churn allocations.
 func (c *Client) PushQuantized(w []float64, samples, baseVersion int) ([]float64, int, error) {
+	c.scratchMu.Lock()
+	defer c.scratchMu.Unlock()
 	rep, err := c.roundTrip(&request{
-		Kind: "push", ClientID: c.ID, Quant: Quantize(w),
+		Kind: "push", ClientID: c.ID, Quant: QuantizeInto(w, &c.qbuf),
 		NumSamples: samples, BaseVersion: baseVersion,
 	})
 	if err != nil {

@@ -12,6 +12,8 @@ import (
 	"math/rand"
 	"net"
 	"time"
+
+	"ecofl/internal/flnet/wire"
 )
 
 // Dialer opens the transport connection to the server. Tests and emulations
@@ -39,6 +41,12 @@ type Options struct {
 	JitterSeed int64
 	// Dialer opens connections; nil means plain TCP.
 	Dialer Dialer
+	// Wire selects the transport encoding: WireAuto negotiates binary with
+	// latched gob fallback, WireBinary and WireGob pin one protocol.
+	Wire WireMode
+	// MaxPayload caps the reply payload bytes the client will accept on a
+	// binary connection (0 = the wire package default, 128 MiB).
+	MaxPayload int
 }
 
 func (o Options) withDefaults(id int) Options {
@@ -81,19 +89,54 @@ func DialOptions(addr string, id int, opts Options) (*Client, error) {
 		closedCh: make(chan struct{}),
 	}
 	c.rng = rand.New(rand.NewSource(opts.JitterSeed))
-	c.installConn(conn)
+	if err := c.installConn(conn); err != nil {
+		conn.Close()
+		if opts.Wire != WireAuto || !c.gobFallback {
+			return nil, err
+		}
+		// The hello was rejected: a pre-binary server dropped the (now
+		// poisoned) connection. Redial once and install the latched gob
+		// stream.
+		conn, err = opts.Dialer(addr)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.installConn(conn); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
-// installConn swaps in a fresh connection and rebuilds the gob stream over
-// the byte-counting wrapper.
-func (c *Client) installConn(conn net.Conn) {
+// installConn swaps in a fresh connection and builds its codec over the
+// byte-counting wrapper: the negotiated binary framing on the first attempt,
+// or the legacy gob stream when pinned or latched into fallback. A non-nil
+// error means the connection is unusable (a failed binary hello poisons the
+// stream) and the caller must redial.
+func (c *Client) installConn(conn net.Conn) error {
 	cc := countingConn{Conn: conn, in: cliBytesIn, out: cliBytesOut}
 	c.connMu.Lock()
 	c.conn = conn
 	c.connMu.Unlock()
-	c.enc = gob.NewEncoder(cc)
-	c.dec = gob.NewDecoder(cc)
+	if c.opts.Wire == WireGob || (c.opts.Wire == WireAuto && c.gobFallback) {
+		c.wire = &gobClientWire{enc: gob.NewEncoder(cc), dec: gob.NewDecoder(cc)}
+		return nil
+	}
+	bw, err := newBinClientWire(conn, cc, c.ID, c.opts.Timeout,
+		wire.Limits{MaxPayload: c.opts.MaxPayload})
+	if err != nil {
+		if c.opts.Wire == WireAuto {
+			// Latch: all future (re)connects speak gob. A binary-capable
+			// server that merely glitched mid-hello still interoperates —
+			// gob is always accepted — at the cost of the fast path.
+			c.gobFallback = true
+			cliWireFallbacks.Inc()
+		}
+		return err
+	}
+	c.wire = bw
+	return nil
 }
 
 // reconnectLocked replaces a failed connection with a freshly dialed one.
@@ -118,7 +161,12 @@ func (c *Client) reconnectLocked() error {
 		conn.Close()
 		return ErrClosed
 	}
-	c.installConn(conn)
+	if err := c.installConn(conn); err != nil {
+		// Negotiation failed; the retry loop backs off and redials — with
+		// gob, if the failure latched the fallback.
+		conn.Close()
+		return err
+	}
 	c.reconnects.Add(1)
 	cliReconnects.Inc()
 	return nil

@@ -1,0 +1,155 @@
+package wire
+
+// Payload codecs. Append* builds a payload into a reusable destination
+// buffer; Parse* validates a received payload fail-closed and decodes it
+// with destination-passing so steady-state ingest does not allocate.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func getF64(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// AppendRaw appends w in the raw codec: 8 little-endian bytes per weight.
+func AppendRaw(dst []byte, w []float64) []byte {
+	if b, ok := BytesView(w); ok {
+		return append(dst, b...)
+	}
+	for _, v := range w {
+		dst = appendF64(dst, v)
+	}
+	return dst
+}
+
+// ParseRaw decodes a raw payload into dst (grown as needed). On
+// little-endian hosts the bulk copy goes through an aliased view. The
+// result never aliases p.
+func ParseRaw(p []byte, dst []float64) ([]float64, error) {
+	if len(p)%8 != 0 {
+		return dst, fmt.Errorf("%w: raw payload of %d bytes", ErrFrame, len(p))
+	}
+	n := len(p) / 8
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	if v, ok := Float64View(p); ok {
+		copy(dst, v)
+		return dst, nil
+	}
+	for i := range dst {
+		dst[i] = getF64(p[8*i:])
+	}
+	return dst, nil
+}
+
+// RawView returns a read-only []float64 view of a raw payload without
+// copying, when the host byte order and the buffer's alignment allow it.
+// The view aliases p and is only valid while p is.
+func RawView(p []byte) ([]float64, bool) {
+	if len(p)%8 != 0 {
+		return nil, false
+	}
+	return Float64View(p)
+}
+
+// quantHeadLen is the fixed prefix of a quantized payload: min and scale.
+const quantHeadLen = 16
+
+// QuantSize returns the payload size of an n-weight quantized push.
+func QuantSize(n int) int { return quantHeadLen + n }
+
+// AppendQuant appends an int8 affine quantization payload: min f64,
+// scale f64, then one byte per weight.
+func AppendQuant(dst []byte, min, scale float64, data []uint8) []byte {
+	dst = appendF64(dst, min)
+	dst = appendF64(dst, scale)
+	return append(dst, data...)
+}
+
+// ParseQuant decodes a quantized payload. The returned data slice aliases
+// p. Non-finite min or scale fails closed: dequantizing either would poison
+// every weight it touches.
+func ParseQuant(p []byte) (min, scale float64, data []uint8, err error) {
+	if len(p) < quantHeadLen {
+		return 0, 0, nil, fmt.Errorf("%w: quantized payload of %d bytes", ErrFrame, len(p))
+	}
+	min, scale = getF64(p), getF64(p[8:])
+	if math.IsNaN(min) || math.IsInf(min, 0) || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		return 0, 0, nil, fmt.Errorf("%w: non-finite quantization parameters", ErrFrame)
+	}
+	return min, scale, p[quantHeadLen:], nil
+}
+
+// sparseHeadLen is the fixed prefix of a sparse payload: denseLen and k.
+const sparseHeadLen = 8
+
+// SparseSize returns the payload size of a k-of-denseLen sparse delta —
+// what callers compare against 8×denseLen to decide whether sparsity pays.
+func SparseSize(k int) int { return sparseHeadLen + 12*k }
+
+// AppendSparse appends a top-k sparse delta payload: denseLen u32, k u32,
+// k ascending u32 indices, k f64 values.
+func AppendSparse(dst []byte, denseLen int, idx []uint32, vals []float64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(denseLen))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(idx)))
+	for _, i := range idx {
+		dst = binary.LittleEndian.AppendUint32(dst, i)
+	}
+	for _, v := range vals {
+		dst = appendF64(dst, v)
+	}
+	return dst
+}
+
+// ParseSparse decodes and validates a sparse delta payload into the
+// destination slices (grown as needed; the results never alias p).
+// Fail-closed checks: the payload length must match k exactly, indices must
+// be strictly ascending (no double-apply) and below denseLen, and every
+// value must be finite.
+func ParseSparse(p []byte, idxDst []uint32, valsDst []float64) (denseLen int, idx []uint32, vals []float64, err error) {
+	if len(p) < sparseHeadLen {
+		return 0, idxDst, valsDst, fmt.Errorf("%w: sparse payload of %d bytes", ErrFrame, len(p))
+	}
+	dl := binary.LittleEndian.Uint32(p)
+	k := binary.LittleEndian.Uint32(p[4:])
+	if uint64(k) > uint64(dl) {
+		return 0, idxDst, valsDst, fmt.Errorf("%w: sparse k %d exceeds dense length %d", ErrFrame, k, dl)
+	}
+	if len(p) != SparseSize(int(k)) {
+		return 0, idxDst, valsDst, fmt.Errorf("%w: sparse payload %d bytes, want %d for k=%d", ErrFrame, len(p), SparseSize(int(k)), k)
+	}
+	n := int(k)
+	if cap(idxDst) < n {
+		idxDst = make([]uint32, n)
+	}
+	idx = idxDst[:n]
+	if cap(valsDst) < n {
+		valsDst = make([]float64, n)
+	}
+	vals = valsDst[:n]
+	ib, vb := p[sparseHeadLen:sparseHeadLen+4*n], p[sparseHeadLen+4*n:]
+	prev := int64(-1)
+	for i := 0; i < n; i++ {
+		ix := binary.LittleEndian.Uint32(ib[4*i:])
+		if int64(ix) <= prev || ix >= dl {
+			return 0, idx, vals, fmt.Errorf("%w: sparse index %d at position %d (prev %d, dense %d)", ErrFrame, ix, i, prev, dl)
+		}
+		prev = int64(ix)
+		idx[i] = ix
+		v := getF64(vb[8*i:])
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, idx, vals, fmt.Errorf("%w: non-finite sparse value at position %d", ErrFrame, i)
+		}
+		vals[i] = v
+	}
+	return int(dl), idx, vals, nil
+}

@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzFrameDecode throws arbitrary byte streams at the frame reader under
+// tight limits: truncated headers, oversized length prefixes, bad magic and
+// versions, and hostile payloads must all fail closed — no panic, no
+// allocation blow-up — while well-formed frames keep decoding. Whatever a
+// push frame's payload claims to be is fed through the matching codec
+// parser, which must uphold its own invariants (ascending in-range sparse
+// indices, finite values) or reject.
+func FuzzFrameDecode(f *testing.F) {
+	frame := func(h Header, payload, trailer []byte) []byte {
+		var buf bytes.Buffer
+		w := Writer{W: &buf}
+		if err := w.WriteFrame(&h, payload, trailer); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	raw := AppendRaw(nil, []float64{1, -2.5, 3})
+	quant := AppendQuant(nil, -1, 0.5, []uint8{0, 128, 255})
+	sparse := AppendSparse(nil, 8, []uint32{1, 6}, []float64{0.5, -4})
+	f.Add(frame(Header{Kind: KindHello, A: 3}, nil, nil))
+	f.Add(frame(Header{Kind: KindHelloAck}, nil, nil))
+	f.Add(frame(Header{Kind: KindPull, A: 1}, nil, nil))
+	f.Add(frame(Header{Kind: KindPush, Codec: CodecRaw, A: 1, Seq: 2}, raw, nil))
+	f.Add(frame(Header{Kind: KindPush, Codec: CodecQuant, A: 1, Seq: 3}, quant, []byte("trailer")))
+	f.Add(frame(Header{Kind: KindPush, Codec: CodecSparse, A: 1, Seq: 4}, sparse, nil))
+	f.Add(frame(Header{Kind: KindReply, Codec: CodecRaw, A: 9}, raw, nil))
+	// Two frames back to back, then the stream severed mid-header.
+	two := append(frame(Header{Kind: KindPull}, nil, nil),
+		frame(Header{Kind: KindPush, Codec: CodecRaw, Seq: 1}, raw, nil)...)
+	f.Add(append(two, Magic[0], Magic[1]))
+	// Hostile mutations: bad magic, future version, huge length prefixes,
+	// sparse payloads with NaN values and out-of-range indices.
+	bad := frame(Header{Kind: KindPush, Codec: CodecRaw, Seq: 1}, raw, nil)
+	badMagic := append([]byte(nil), bad...)
+	badMagic[0] = 'X'
+	f.Add(badMagic)
+	badVer := append([]byte(nil), bad...)
+	badVer[4] = 200
+	f.Add(badVer)
+	huge := append([]byte(nil), bad...)
+	binary.LittleEndian.PutUint32(huge[28:], math.MaxUint32)
+	f.Add(huge)
+	nanSparse := AppendSparse(nil, 8, []uint32{2}, []float64{math.NaN()})
+	f.Add(frame(Header{Kind: KindPush, Codec: CodecSparse, Seq: 1}, nanSparse, nil))
+	oobSparse := AppendSparse(nil, 4, []uint32{9}, []float64{1})
+	f.Add(frame(Header{Kind: KindPush, Codec: CodecSparse, Seq: 1}, oobSparse, nil))
+	f.Add([]byte{})
+	f.Add([]byte("EFLB"))
+
+	lim := Limits{MaxPayload: 1 << 16, MaxTrailer: 1 << 12}
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		r := Reader{R: bytes.NewReader(stream), Lim: lim}
+		var idxDst []uint32
+		var valDst []float64
+		var rawDst []float64
+		for n := 0; n < 32; n++ {
+			h, payload, trailer, err := r.Next()
+			if err != nil {
+				return // poisoned stream: the transport drops the connection
+			}
+			if len(payload) != int(h.PayloadLen) || len(trailer) != int(h.TrailerLen) {
+				t.Fatalf("frame body lengths (%d,%d) disagree with header (%d,%d)",
+					len(payload), len(trailer), h.PayloadLen, h.TrailerLen)
+			}
+			if len(payload) > lim.maxPayload() || len(trailer) > lim.maxTrailer() {
+				t.Fatal("frame body exceeds limits")
+			}
+			if h.Kind != KindPush {
+				continue
+			}
+			switch h.Codec {
+			case CodecRaw:
+				var err error
+				if rawDst, err = ParseRaw(payload, rawDst); err != nil {
+					t.Fatalf("raw payload that passed header validation failed to parse: %v", err)
+				}
+			case CodecQuant:
+				if min, scale, _, err := ParseQuant(payload); err == nil {
+					if math.IsNaN(min) || math.IsInf(min, 0) || math.IsNaN(scale) || math.IsInf(scale, 0) {
+						t.Fatal("non-finite quant parameters accepted")
+					}
+				}
+			case CodecSparse:
+				dl, idx, vals, err := ParseSparse(payload, idxDst, valDst)
+				idxDst, valDst = idx, vals
+				if err != nil {
+					continue
+				}
+				prev := int64(-1)
+				for i := range idx {
+					if int64(idx[i]) <= prev || int(idx[i]) >= dl {
+						t.Fatalf("accepted sparse index %d (prev %d, dense %d)", idx[i], prev, dl)
+					}
+					prev = int64(idx[i])
+					if math.IsNaN(vals[i]) || math.IsInf(vals[i], 0) {
+						t.Fatal("accepted non-finite sparse value")
+					}
+				}
+			}
+		}
+	})
+}

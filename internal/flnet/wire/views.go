@@ -1,0 +1,48 @@
+package wire
+
+// Zero-copy []float64↔[]byte views. The wire format is little-endian; on a
+// little-endian host a correctly aligned byte buffer simply *is* the float
+// data, so the hot path (100k-weight raw payloads every push) moves one
+// memcpy — or none, on the encode side — instead of 100k per-element
+// conversions through encoding/binary. Callers must treat views as
+// read-only aliases of their argument. On big-endian hosts or misaligned
+// buffers every view constructor reports false and callers fall back to the
+// portable element-wise loops.
+
+import "unsafe"
+
+// hostLittleEndian reports whether the running CPU stores multi-byte
+// integers little-endian (true everywhere this repo targets; the probe
+// keeps big-endian hosts correct rather than fast).
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// Float64View reinterprets p as a []float64 without copying. ok is false
+// when the host is big-endian, p's length is not a multiple of 8, or p is
+// not 8-byte aligned.
+func Float64View(p []byte) ([]float64, bool) {
+	if !hostLittleEndian || len(p)%8 != 0 {
+		return nil, false
+	}
+	if len(p) == 0 {
+		return nil, true
+	}
+	if uintptr(unsafe.Pointer(&p[0]))%8 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&p[0])), len(p)/8), true
+}
+
+// BytesView reinterprets w as its wire bytes without copying. ok is false
+// on big-endian hosts. float64 slices are always 8-byte aligned.
+func BytesView(w []float64) ([]byte, bool) {
+	if !hostLittleEndian {
+		return nil, false
+	}
+	if len(w) == 0 {
+		return nil, true
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&w[0])), 8*len(w)), true
+}

@@ -1,0 +1,278 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	cases := []Header{
+		{Kind: KindHello, A: 42},
+		{Kind: KindHelloAck},
+		{Kind: KindPull, A: 3, B: 0, C: 7},
+		{Kind: KindPush, Codec: CodecRaw, A: 1, B: 100, C: 5, Seq: 99, PayloadLen: 64},
+		{Kind: KindPush, Codec: CodecQuant, A: -1, B: -2, C: -3, Seq: 1, PayloadLen: 17, TrailerLen: 9},
+		{Kind: KindPush, Codec: CodecSparse, Seq: 1 << 40, PayloadLen: 20},
+		{Kind: KindTelemetry, A: 2, TrailerLen: 128},
+		{Kind: KindReply, Codec: CodecRaw, A: 12, PayloadLen: 8},
+		{Kind: KindReply, A: 12, TrailerLen: 30},
+	}
+	var buf [HeaderSize]byte
+	for _, h := range cases {
+		PutHeader(buf[:], &h)
+		got, err := ParseHeader(buf[:], Limits{})
+		if err != nil {
+			t.Fatalf("ParseHeader(%+v): %v", h, err)
+		}
+		if got != h {
+			t.Fatalf("round trip changed header:\n put %+v\n got %+v", h, got)
+		}
+	}
+}
+
+func TestParseHeaderRejects(t *testing.T) {
+	mk := func(mut func(b []byte)) []byte {
+		var b [HeaderSize]byte
+		PutHeader(b[:], &Header{Kind: KindPush, Codec: CodecRaw, PayloadLen: 16})
+		mut(b[:])
+		return b[:]
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"truncated", mk(func([]byte) {})[:HeaderSize-1]},
+		{"bad magic", mk(func(b []byte) { b[0] = 'X' })},
+		{"bad version", mk(func(b []byte) { b[4] = Version + 1 })},
+		{"unknown kind", mk(func(b []byte) { b[5] = 99 })},
+		{"kind zero", mk(func(b []byte) { b[5] = 0 })},
+		{"pull with payload", mk(func(b []byte) { b[5] = KindPull })},
+		{"hello with codec", mk(func(b []byte) { b[5] = KindHello; b[6] = CodecRaw; binary.LittleEndian.PutUint32(b[28:], 0) })},
+		{"push codec none", mk(func(b []byte) { b[6] = CodecNone })},
+		{"push codec unknown", mk(func(b []byte) { b[6] = 9 })},
+		{"reply codec quant", mk(func(b []byte) { b[5] = KindReply; b[6] = CodecQuant })},
+		{"codec-less reply with payload", mk(func(b []byte) { b[5] = KindReply; b[6] = CodecNone })},
+		{"raw payload not 8-aligned", mk(func(b []byte) { binary.LittleEndian.PutUint32(b[28:], 15) })},
+		{"payload over limit", mk(func(b []byte) { binary.LittleEndian.PutUint32(b[28:], 1<<30) })},
+		{"trailer over limit", mk(func(b []byte) { binary.LittleEndian.PutUint32(b[32:], 1<<30) })},
+	}
+	for _, tc := range cases {
+		if _, err := ParseHeader(tc.buf, Limits{}); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// The limits are caller-tunable: a payload over a tight custom cap must
+	// be rejected even though the default would admit it.
+	tight := mk(func(b []byte) { binary.LittleEndian.PutUint32(b[28:], 1024) })
+	if _, err := ParseHeader(tight, Limits{MaxPayload: 512}); err == nil {
+		t.Error("custom MaxPayload not enforced")
+	}
+	if _, err := ParseHeader(tight, Limits{MaxPayload: 2048}); err != nil {
+		t.Errorf("payload under custom limit rejected: %v", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := Writer{W: &buf}
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	trailer := []byte("telemetry blob")
+	frames := []struct {
+		h       Header
+		payload []byte
+		trailer []byte
+	}{
+		{Header{Kind: KindHello, A: 7}, nil, nil},
+		{Header{Kind: KindPush, Codec: CodecRaw, A: 7, B: 10, C: 2, Seq: 3}, payload, trailer},
+		{Header{Kind: KindReply, A: 3}, nil, []byte("some error")},
+	}
+	for i := range frames {
+		if err := w.WriteFrame(&frames[i].h, frames[i].payload, frames[i].trailer); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := Reader{R: &buf}
+	for i, f := range frames {
+		h, p, tr, err := r.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if h != f.h {
+			t.Fatalf("frame %d header: got %+v want %+v", i, h, f.h)
+		}
+		if !bytes.Equal(p, f.payload) {
+			t.Fatalf("frame %d payload: got % x want % x", i, p, f.payload)
+		}
+		if !bytes.Equal(tr, f.trailer) {
+			t.Fatalf("frame %d trailer: got %q want %q", i, tr, f.trailer)
+		}
+	}
+	if _, _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("after last frame: %v, want EOF", err)
+	}
+}
+
+func TestWriteRawFrameRoundTrip(t *testing.T) {
+	vals := []float64{0, 1.5, -2.25, math.Pi, math.SmallestNonzeroFloat64, -math.MaxFloat64}
+	var buf bytes.Buffer
+	w := Writer{W: &buf}
+	h := Header{Kind: KindPush, A: 1, Seq: 1}
+	if err := w.WriteRawFrame(&h, vals, nil); err != nil {
+		t.Fatal(err)
+	}
+	r := Reader{R: &buf}
+	got, p, _, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Codec != CodecRaw || int(got.PayloadLen) != 8*len(vals) {
+		t.Fatalf("header %+v", got)
+	}
+	back, err := ParseRaw(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if back[i] != vals[i] {
+			t.Fatalf("value %d: got %v want %v", i, back[i], vals[i])
+		}
+	}
+	if v, ok := RawView(p); ok {
+		for i := range vals {
+			if v[i] != vals[i] {
+				t.Fatalf("view value %d: got %v want %v", i, v[i], vals[i])
+			}
+		}
+	}
+}
+
+// TestHostileLengthTruncated severs the stream right after a header claiming
+// a large payload: the reader must fail with a truncation error, not block
+// or succeed, and must not have allocated anywhere near the claimed size.
+func TestHostileLengthTruncated(t *testing.T) {
+	var hdr [HeaderSize]byte
+	PutHeader(hdr[:], &Header{Kind: KindPush, Codec: CodecRaw, PayloadLen: 64 << 20})
+	stream := append(append([]byte(nil), hdr[:]...), make([]byte, 1024)...)
+	r := Reader{R: bytes.NewReader(stream)}
+	if _, _, _, err := r.Next(); err == nil {
+		t.Fatal("truncated 64MiB claim accepted")
+	}
+	// readGrow grows with the bytes that actually arrived (~1KiB), never the
+	// claimed 64 MiB up front.
+	if cap(r.payload) > 1<<20 {
+		t.Fatalf("reader allocated %d bytes for a truncated stream", cap(r.payload))
+	}
+}
+
+func TestQuantCodecRoundTrip(t *testing.T) {
+	data := []uint8{0, 1, 127, 255}
+	p := AppendQuant(nil, -1.5, 0.25, data)
+	if len(p) != QuantSize(len(data)) {
+		t.Fatalf("payload %d bytes, want %d", len(p), QuantSize(len(data)))
+	}
+	min, scale, back, err := ParseQuant(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != -1.5 || scale != 0.25 || !bytes.Equal(back, data) {
+		t.Fatalf("got min=%v scale=%v data=%v", min, scale, back)
+	}
+	if _, _, _, err := ParseQuant(p[:8]); err == nil {
+		t.Error("short quant payload accepted")
+	}
+	bad := AppendQuant(nil, math.NaN(), 1, data)
+	if _, _, _, err := ParseQuant(bad); err == nil {
+		t.Error("NaN min accepted")
+	}
+	bad = AppendQuant(nil, 0, math.Inf(1), data)
+	if _, _, _, err := ParseQuant(bad); err == nil {
+		t.Error("Inf scale accepted")
+	}
+}
+
+func TestSparseCodecRoundTrip(t *testing.T) {
+	idx := []uint32{0, 3, 9}
+	vals := []float64{1.5, -2.5, 42}
+	p := AppendSparse(nil, 10, idx, vals)
+	if len(p) != SparseSize(len(idx)) {
+		t.Fatalf("payload %d bytes, want %d", len(p), SparseSize(len(idx)))
+	}
+	dl, bi, bv, err := ParseSparse(p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl != 10 {
+		t.Fatalf("denseLen %d", dl)
+	}
+	for i := range idx {
+		if bi[i] != idx[i] || bv[i] != vals[i] {
+			t.Fatalf("pair %d: got (%d,%v) want (%d,%v)", i, bi[i], bv[i], idx[i], vals[i])
+		}
+	}
+	// Destination reuse must not reallocate.
+	bi2, bv2 := bi, bv
+	if _, bi2, bv2, err = ParseSparse(p, bi2, bv2); err != nil {
+		t.Fatal(err)
+	}
+	if &bi2[0] != &bi[0] || &bv2[0] != &bv[0] {
+		t.Error("destination slices were reallocated despite sufficient capacity")
+	}
+}
+
+func TestSparseCodecRejects(t *testing.T) {
+	good := func() []byte { return AppendSparse(nil, 10, []uint32{1, 5}, []float64{1, 2}) }
+	cases := []struct {
+		name string
+		p    []byte
+	}{
+		{"short", good()[:4]},
+		{"truncated pairs", good()[:SparseSize(2)-1]},
+		{"extra bytes", append(good(), 0)},
+		{"k over denseLen", AppendSparse(nil, 1, []uint32{0, 1}, []float64{1, 2})},
+		{"descending idx", AppendSparse(nil, 10, []uint32{5, 1}, []float64{1, 2})},
+		{"duplicate idx", AppendSparse(nil, 10, []uint32{5, 5}, []float64{1, 2})},
+		{"idx out of range", AppendSparse(nil, 10, []uint32{1, 10}, []float64{1, 2})},
+		{"NaN value", AppendSparse(nil, 10, []uint32{1, 5}, []float64{1, math.NaN()})},
+		{"Inf value", AppendSparse(nil, 10, []uint32{1, 5}, []float64{math.Inf(-1), 2})},
+	}
+	for _, tc := range cases {
+		if _, _, _, err := ParseSparse(tc.p, nil, nil); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), "wire:") {
+			t.Errorf("%s: error %v not tagged ErrFrame", tc.name, err)
+		}
+	}
+}
+
+func TestViews(t *testing.T) {
+	if !hostLittleEndian {
+		t.Skip("big-endian host: views are disabled by design")
+	}
+	w := []float64{1, 2.5, -3}
+	b, ok := BytesView(w)
+	if !ok || len(b) != 24 {
+		t.Fatalf("BytesView: ok=%v len=%d", ok, len(b))
+	}
+	v, ok := Float64View(b)
+	if !ok {
+		t.Fatal("Float64View rejected an 8-aligned buffer")
+	}
+	for i := range w {
+		if v[i] != w[i] {
+			t.Fatalf("view[%d]=%v want %v", i, v[i], w[i])
+		}
+	}
+	if _, ok := Float64View(b[:7]); ok {
+		t.Error("Float64View accepted a non-multiple-of-8 buffer")
+	}
+	if _, ok := Float64View(b[1:9]); ok {
+		t.Error("Float64View accepted a misaligned buffer")
+	}
+	if v, ok := Float64View(nil); !ok || len(v) != 0 {
+		t.Error("Float64View rejected the empty buffer")
+	}
+}

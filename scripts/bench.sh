@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
 # Runs the tensor/nn/fl/obs/metrics/flnet/pipeline-runtime benchmarks and
-# writes BENCH_pr5.json mapping each benchmark to ns/op and allocs/op,
-# alongside the seed baseline and the PR1 numbers captured on the same host
-# (BENCH_pr1.json..BENCH_pr3.json in the repo root hold the earlier captures).
+# writes BENCH_pr6.json mapping each benchmark to ns/op and allocs/op —
+# plus pushes/s and bytes/round where a benchmark reports them — alongside
+# the seed baseline and the PR1 numbers captured on the same host
+# (BENCH_pr1.json..BENCH_pr5.json in the repo root hold earlier captures).
+#
+# Wire transport gains are read off BenchmarkServerIngest: gob-raw is the
+# legacy reflection-encoded baseline; binary-raw/-quant/-sparse-1k are the
+# framed codecs on the same 100k-weight model. The acceptance bar is
+# binary-sparse-1k at >=2x gob-raw pushes/s and >=4x fewer bytes/round.
 #
 # Self-healing hardening overhead is read off one comparison:
 #   - BenchmarkDistRound/bare vs BenchmarkDistRound/hardened: a fault-free
@@ -21,7 +27,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_pr5.json}
+out=${1:-BENCH_pr6.json}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
@@ -34,19 +40,22 @@ awk '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
-	# Benchmarks using b.SetBytes add an MB/s column, so locate values by
+	# Benchmarks using b.SetBytes add an MB/s column and BenchmarkServerIngest
+	# reports pushes/s + bytes/round via ReportMetric, so locate values by
 	# their unit field instead of a fixed position.
 	for (i = 2; i < NF; i++) {
 		if ($(i + 1) == "ns/op") ns[name] = $i
 		if ($(i + 1) == "allocs/op") allocs[name] = $i
+		if ($(i + 1) == "pushes/s") pushes[name] = $i
+		if ($(i + 1) == "bytes/round") bytes[name] = $i
 	}
 	order[n++] = name
 }
 END {
 	printf "{\n"
 	printf "  \"generated_by\": \"scripts/bench.sh\",\n"
-	printf "  \"units\": {\"ns_op\": \"ns/op\", \"allocs_op\": \"allocs/op\"},\n"
-	printf "  \"notes\": \"Self-healing hardening overhead: compare BenchmarkDistRound/bare vs BenchmarkDistRound/hardened (send/recv deadlines + heartbeats + dial retries on a fault-free distributed round; budget <2%% steady-state). Telemetry overhead: compare BenchmarkPushRaw vs BenchmarkPushRawWithTelemetry and see BenchmarkSamplerSample. Full earlier captures live in BENCH_pr1.json..BENCH_pr3.json.\",\n"
+	printf "  \"units\": {\"ns_op\": \"ns/op\", \"allocs_op\": \"allocs/op\", \"pushes_s\": \"pushes/s\", \"bytes_round\": \"server uplink bytes per push\"},\n"
+	printf "  \"notes\": \"Wire transport: compare BenchmarkServerIngest/gob-raw (legacy baseline) against binary-raw/-quant/-sparse-1k on the same 100k-weight model; acceptance is binary-sparse-1k at >=2x gob-raw pushes/s and >=4x fewer bytes/round. Self-healing hardening overhead: compare BenchmarkDistRound/bare vs BenchmarkDistRound/hardened (budget <2%% steady-state). Telemetry overhead: compare BenchmarkPushRaw vs BenchmarkPushRawWithTelemetry and see BenchmarkSamplerSample. Full earlier captures live in BENCH_pr1.json..BENCH_pr5.json.\",\n"
 	printf "  \"baseline_seed\": {\n"
 	printf "    \"BenchmarkMatMul64\": {\"ns_op\": 181628, \"allocs_op\": 4},\n"
 	printf "    \"BenchmarkMatMulAT64\": {\"ns_op\": 142610, \"allocs_op\": 4},\n"
@@ -68,8 +77,11 @@ END {
 	printf "  \"current\": {\n"
 	for (i = 0; i < n; i++) {
 		name = order[i]
-		printf "    \"%s\": {\"ns_op\": %s, \"allocs_op\": %s}%s\n", \
-			name, ns[name], allocs[name], (i < n - 1 ? "," : "")
+		extra = ""
+		if (name in pushes) extra = extra ", \"pushes_s\": " pushes[name]
+		if (name in bytes) extra = extra ", \"bytes_round\": " bytes[name]
+		printf "    \"%s\": {\"ns_op\": %s, \"allocs_op\": %s%s}%s\n", \
+			name, ns[name], allocs[name], extra, (i < n - 1 ? "," : "")
 	}
 	printf "  }\n"
 	printf "}\n"

@@ -19,7 +19,9 @@ go test ./...
 # every simnet fault mode plus a killed device, under ./internal/adaptive/...)
 # run their reduced-round configurations here, having already run in full
 # above. ./internal/adaptive/... covers the self-healing executor package;
-# ./internal/pipeline/runtime/... covers the hardened link layer.
+# ./internal/pipeline/runtime/... covers the hardened link layer;
+# ./internal/flnet/... recursively covers ./internal/flnet/wire/... (binary
+# frame codecs) alongside the mixed-wire interop and codec chaos soaks.
 go test -race -short ./internal/tensor/... ./internal/fl/... \
 	./internal/metrics/... ./internal/obs/... ./internal/adaptive/... \
 	./internal/flnet/... ./internal/simnet/... ./internal/pipeline/runtime/...
