@@ -141,7 +141,12 @@ func main() {
 		server.Addr(), *alpha, *dim, *hidden, *classes)
 
 	// History for the dashboard: sample the server's own registry plus the
-	// federated per-node views.
+	// federated per-node views. The runtime sampler publishes goroutine,
+	// heap, and GC-pause gauges on the Default registry, so they ride the
+	// same pipeline onto /metrics and the /dash sparklines.
+	runtimeSampler := metrics.NewRuntimeSampler(metrics.Default)
+	stopRuntime := runtimeSampler.Start(*sampleEvery)
+	defer stopRuntime()
 	sampler := metrics.NewSampler(*sampleWindow, metrics.Default, fleet.Registry())
 	stopSampler := sampler.Start(*sampleEvery)
 	defer stopSampler()

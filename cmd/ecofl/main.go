@@ -179,6 +179,8 @@ func main() {
 		err = cmdDevices()
 	case "migrate":
 		err = cmdMigrate(args[1:])
+	case "bench":
+		err = cmdBench(args[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -209,6 +211,7 @@ commands:
   headlines  [--scale quick|full]
   devices    (print the Table 1 device presets)
   migrate    --model M --devices A,B,C --spike-device N --load F
+  bench      --scenario <spec.json> ... [--out BENCH.json] [--compare BASE.json] [--tolerance 10%|metric=5%]
   all        [--scale quick|full]
 
 global flags (any command):

@@ -10,6 +10,7 @@ import (
 	"ecofl/internal/device"
 	"ecofl/internal/model"
 	"ecofl/internal/nn"
+	"ecofl/internal/obs/leakcheck"
 	"ecofl/internal/partition"
 	"ecofl/internal/pipeline/runtime"
 	"ecofl/internal/simnet"
@@ -71,6 +72,7 @@ func TestKillFailoverBitIdentical(t *testing.T) {
 	const seed, mbs, rounds, lr = 42, 6, 6, 0.05
 	rng := rand.New(rand.NewSource(7))
 	x, labels := makeData(rng, 24, 12, 4)
+	baseline := leakcheck.Baseline()
 
 	tr := model.NewTrainableMLP(rand.New(rand.NewSource(seed)), "ref", 12, []int{14, 12, 10}, 4)
 	exec, err := New(Config{
@@ -112,6 +114,9 @@ func TestKillFailoverBitIdentical(t *testing.T) {
 	if !weightsEqual(exec.Network().FlatWeights(), want) {
 		t.Fatal("recovered model is not bit-identical to the fault-free run")
 	}
+	// Two kills and two migrations later, nothing may still be running:
+	// stage goroutines, link readers, and heal machinery all unwound.
+	leakcheck.Check(t, baseline)
 }
 
 // chaosPerLink memoizes one shared Chaos per link index so the fault

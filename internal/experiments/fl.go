@@ -39,9 +39,12 @@ func flConfig(seed int64, scale Scale, lambda float64, dynamic bool) fl.Config {
 	}
 }
 
-// buildPopulation creates a population on the named dataset preset with the
-// paper's 2-classes-per-client non-IID partition.
-func buildPopulation(seed int64, dataset string, scale Scale, cfg fl.Config) *fl.Population {
+// BuildPopulation creates a population on the named dataset preset with the
+// paper's 2-classes-per-client non-IID partition. Exported because every
+// harness that replays the paper's fleet — the figure runners here and the
+// declarative scenario runner — must shard data and draw latencies from the
+// same seeded stream to be comparable.
+func BuildPopulation(seed int64, dataset string, scale Scale, cfg fl.Config) *fl.Population {
 	rng := rand.New(rand.NewSource(seed))
 	var ds *data.Dataset
 	switch dataset {
@@ -67,7 +70,7 @@ func Fig7(seed int64, scale Scale) []CurveSet {
 		set := CurveSet{Dataset: dataset}
 		run := func(name string, f func(p *fl.Population) *fl.RunResult, lambda float64) {
 			cfg := flConfig(seed, scale, lambda, true)
-			pop := buildPopulation(seed, dataset, scale, cfg)
+			pop := BuildPopulation(seed, dataset, scale, cfg)
 			r := f(pop)
 			r.Strategy = name
 			set.Runs = append(set.Runs, r)
@@ -208,7 +211,7 @@ func Dropout(seed int64, scale Scale) []DropoutRow {
 			cfg := flConfig(seed, scale, 500, true)
 			cfg.DropoutProb = p
 			cfg.Quorum = q
-			pop := buildPopulation(seed, "mnist", scale, cfg)
+			pop := BuildPopulation(seed, "mnist", scale, cfg)
 			r := fl.RunHierarchical(pop, fl.HierOptions{Grouping: fl.GroupEcoFL, DynamicRegroup: true})
 			rows = append(rows, DropoutRow{
 				DropoutProb:  p,

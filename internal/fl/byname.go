@@ -1,0 +1,49 @@
+package fl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// strategyRunners maps a stable lowercase strategy key to its runner. The
+// HierOptions carry explicit Names matching what the figure runners use, so
+// the per-strategy metric labels (ecofl_fl_round_virtual_seconds{strategy=…})
+// and RunResult.Strategy stay identical whichever entry point launched the
+// run — experiments code, the CLI, or a declarative scenario spec.
+var strategyRunners = map[string]func(*Population) *RunResult{
+	"fedavg":   RunFedAvg,
+	"fedasync": RunFedAsync,
+	"fedat": func(p *Population) *RunResult {
+		return RunHierarchical(p, HierOptions{Name: "FedAT", Grouping: GroupLatencyOnly, FedATWeighting: true})
+	},
+	"astraea": func(p *Population) *RunResult {
+		return RunHierarchical(p, HierOptions{Name: "Astraea", Grouping: GroupDataOnly})
+	},
+	"eco-fl": func(p *Population) *RunResult {
+		return RunHierarchical(p, HierOptions{Name: "Eco-FL", Grouping: GroupEcoFL, DynamicRegroup: true})
+	},
+	"eco-fl-nodg": func(p *Population) *RunResult {
+		return RunHierarchical(p, HierOptions{Name: "Eco-FL w/o DG", Grouping: GroupEcoFL})
+	},
+}
+
+// StrategyNames lists the names RunByName accepts, sorted.
+func StrategyNames() []string {
+	names := make([]string, 0, len(strategyRunners))
+	for name := range strategyRunners {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunByName dispatches a simulation by strategy name — the hook declarative
+// configuration (the scenario harness, the CLI) uses so strategy choice can
+// live in data instead of code. Valid names are StrategyNames().
+func RunByName(pop *Population, strategy string) (*RunResult, error) {
+	run, ok := strategyRunners[strategy]
+	if !ok {
+		return nil, fmt.Errorf("fl: unknown strategy %q (valid: %v)", strategy, StrategyNames())
+	}
+	return run(pop), nil
+}

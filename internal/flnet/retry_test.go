@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"ecofl/internal/obs/leakcheck"
 )
 
 // fastOptions keeps retry tests snappy: short deadlines, tight backoff.
@@ -285,4 +287,37 @@ func TestClientCloseIdempotentAndFlushRace(t *testing.T) {
 	if _, reconnects := c.Stats(); reconnects != reconnectsAtClose {
 		t.Fatalf("client re-dialed after Close: %d → %d", reconnectsAtClose, reconnects)
 	}
+}
+
+// The whole transport must unwind cleanly: after clients and the server are
+// closed, every handler goroutine, mixer, and accept loop has to exit. The
+// shared leakcheck helper (internal/obs/leakcheck) is the same assertion the
+// pipeline link layer and the self-healing executor run after their faults.
+func TestShutdownLeavesNoGoroutines(t *testing.T) {
+	baseline := leakcheck.Baseline()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(ln, []float64{0, 0, 0}, 0.5)
+	var clients []*Client
+	for id := 0; id < 4; id++ {
+		c, err := DialOptions(s.Addr(), id, fastOptions(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+		if _, _, err := c.Push([]float64{1, 2, 3}, 1, 0); err != nil {
+			t.Fatalf("client %d push: %v", id, err)
+		}
+	}
+	for _, c := range clients {
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	leakcheck.Check(t, baseline)
 }

@@ -93,7 +93,8 @@ th { color: var(--muted); font-weight: 600; }
 // Key fleet signals sort first; everything else follows alphabetically.
 const PIN = ["ecofl_straggler", "ecofl_server_eval_accuracy", "ecofl_fl_eval_accuracy",
   "ecofl_node_push_interval_seconds", "ecofl_fl_round_virtual_seconds",
-  "ecofl_flnet_server_request_seconds", "ecofl_fl_staleness", "ecofl_fl_group_size"];
+  "ecofl_flnet_server_request_seconds", "ecofl_fl_staleness", "ecofl_fl_group_size",
+  "ecofl_runtime_goroutines", "ecofl_runtime_heap_bytes", "ecofl_runtime_gc_pause_p99_seconds"];
 const rank = n => { const i = PIN.findIndex(p => n.startsWith(p)); return i < 0 ? PIN.length : i; };
 const fmt = v => {
   if (!isFinite(v)) return String(v);

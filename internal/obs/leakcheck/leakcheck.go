@@ -1,0 +1,70 @@
+// Package leakcheck is a reusable goroutine-leak assertion for tests that
+// start servers, link layers, or executors: capture Baseline() before the
+// component under test spins up, shut the component down, then Check() that
+// the goroutine count returned to the baseline. The check polls rather than
+// sampling once because orderly shutdown is asynchronous — handler goroutines
+// observe a closed channel, deferred Closes run, the runtime parks workers —
+// so a brief settling window is part of the contract, not slack for bugs.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// TB is the subset of testing.TB the checker needs; *testing.T and
+// *testing.B satisfy it, and tests of the checker itself can substitute a
+// recorder.
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+const (
+	// DefaultSlack tolerates runtime housekeeping goroutines (finalizer,
+	// timer, GC workers) that come and go independently of the test.
+	DefaultSlack = 2
+	// DefaultTimeout bounds how long Check waits for shutdown to settle.
+	DefaultTimeout = 3 * time.Second
+)
+
+// Baseline returns the current goroutine count. Call it before starting the
+// component whose goroutines the test owns.
+func Baseline() int { return runtime.NumGoroutine() }
+
+// Check fails t if the goroutine count does not return to baseline (plus
+// DefaultSlack) within DefaultTimeout.
+func Check(t TB, baseline int) {
+	t.Helper()
+	CheckWithin(t, baseline, DefaultSlack, DefaultTimeout)
+}
+
+// CheckWithin is Check with explicit slack and timeout, for tests whose
+// environment legitimately keeps extra goroutines alive (e.g. a shared
+// sampler) or that need a longer settling window under -race.
+func CheckWithin(t TB, baseline, slack int, timeout time.Duration) {
+	t.Helper()
+	if err := Wait(baseline, slack, timeout); err != nil {
+		t.Fatalf("%v", err)
+	}
+}
+
+// Wait is the assertion-free core: it polls until the goroutine count drops
+// to baseline+slack or the timeout elapses, returning an error on timeout.
+// Exposed for callers that want to handle the failure themselves (retry
+// loops, TestMain teardown).
+func Wait(baseline, slack int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+slack {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("leakcheck: %d goroutines alive after %v, want <= baseline %d + slack %d",
+				n, timeout, baseline, slack)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,86 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recorder captures Fatalf calls without aborting the test goroutine.
+type recorder struct {
+	failed bool
+	msg    string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Fatalf(format string, args ...any) {
+	r.failed = true
+	r.msg = format
+	_ = args
+}
+
+func TestCheckPassesWhenNothingLeaks(t *testing.T) {
+	base := Baseline()
+	done := make(chan struct{})
+	go func() { <-done }()
+	close(done)
+	Check(t, base) // fails the test itself on a leak
+}
+
+func TestCheckWaitsForLateShutdown(t *testing.T) {
+	base := Baseline()
+	release := make(chan struct{})
+	go func() { <-release }()
+	// The goroutine is still alive when Check starts; it exits mid-poll.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+	}()
+	CheckWithin(t, base, 0, 2*time.Second)
+}
+
+// settle waits for goroutines left over from earlier tests to exit, so a
+// freshly captured baseline is not inflated by someone else's shutdown.
+func settle(t *testing.T) int {
+	t.Helper()
+	prev := Baseline()
+	for i := 0; i < 100; i++ {
+		time.Sleep(10 * time.Millisecond)
+		cur := Baseline()
+		if cur == prev {
+			return cur
+		}
+		prev = cur
+	}
+	return prev
+}
+
+func TestCheckFailsOnLeak(t *testing.T) {
+	base := settle(t)
+	release := make(chan struct{})
+	defer close(release)
+	for i := 0; i < DefaultSlack+2; i++ {
+		go func() { <-release }()
+	}
+	rec := &recorder{}
+	CheckWithin(rec, base, DefaultSlack, 100*time.Millisecond)
+	if !rec.failed {
+		t.Fatal("leak went undetected")
+	}
+}
+
+func TestWaitErrorNamesCounts(t *testing.T) {
+	base := settle(t)
+	release := make(chan struct{})
+	defer close(release)
+	for i := 0; i < 4; i++ {
+		go func() { <-release }()
+	}
+	err := Wait(base, 0, 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("want timeout error")
+	}
+	if !strings.Contains(err.Error(), "baseline") {
+		t.Fatalf("error should name the baseline: %v", err)
+	}
+}

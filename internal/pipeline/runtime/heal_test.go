@@ -7,13 +7,13 @@ import (
 	"math"
 	"math/rand"
 	"net"
-	stdruntime "runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"ecofl/internal/model"
 	"ecofl/internal/nn"
+	"ecofl/internal/obs/leakcheck"
 )
 
 // failAfterConn errors every write after the first n succeed — a
@@ -54,20 +54,6 @@ func (c *swallowAfterConn) Write(b []byte) (int, error) {
 	return c.Conn.Write(b)
 }
 
-// waitGoroutines polls until the goroutine count drops back to the
-// baseline (plus slack for runtime housekeeping).
-func waitGoroutines(t *testing.T, baseline int) {
-	t.Helper()
-	deadline := time.Now().Add(3 * time.Second)
-	for time.Now().Before(deadline) {
-		if stdruntime.NumGoroutine() <= baseline+2 {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	t.Fatalf("goroutines leaked after abort: %d, baseline %d", stdruntime.NumGoroutine(), baseline)
-}
-
 // TestAbortDiscardsRoundAndUnwinds injects a deterministic mid-round link
 // fault and checks the full abort contract: TrainSyncRound returns a
 // *RoundError, no weights were committed, every stage goroutine and link
@@ -91,7 +77,7 @@ func TestAbortDiscardsRoundAndUnwinds(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := append([]float64(nil), tr.Network().FlatWeights()...)
-	baseline := stdruntime.NumGoroutine()
+	baseline := leakcheck.Baseline()
 
 	opt := &nn.SGD{LR: 0.1}
 	_, err = dp.TrainSyncRound(x, labels, 6, opt)
@@ -115,7 +101,7 @@ func TestAbortDiscardsRoundAndUnwinds(t *testing.T) {
 			t.Fatal("aborted round committed weight changes")
 		}
 	}
-	waitGoroutines(t, baseline)
+	leakcheck.Check(t, baseline)
 
 	// Retry the identical mini-batch on fresh clean links: the result must
 	// be bit-identical to a fault-free round (the healing contract).
@@ -159,7 +145,7 @@ func TestBlackHoledFrameDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 	dp.SetLinkOptions(LinkOptions{RecvTimeout: 100 * time.Millisecond, RecvBudget: 400 * time.Millisecond})
-	baseline := stdruntime.NumGoroutine()
+	baseline := leakcheck.Baseline()
 	start := time.Now()
 	if _, err := dp.TrainSyncRound(x, labels, 4, &nn.SGD{LR: 0.1}); err == nil {
 		t.Fatal("black-holed frame went undetected")
@@ -167,7 +153,7 @@ func TestBlackHoledFrameDetected(t *testing.T) {
 	if el := time.Since(start); el > 3*time.Second {
 		t.Fatalf("detection took %v, budget was 400ms", el)
 	}
-	waitGoroutines(t, baseline)
+	leakcheck.Check(t, baseline)
 }
 
 // TestDialRetriesRecoverTransientFailure fails the first two dials of a
@@ -231,12 +217,12 @@ func TestTCPLinksMidStreamClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	dp.SetLinkOptions(LinkOptions{RecvTimeout: 200 * time.Millisecond})
-	baseline := stdruntime.NumGoroutine()
+	baseline := leakcheck.Baseline()
 	var re *RoundError
 	if _, err := dp.TrainSyncRound(x, labels, 4, &nn.SGD{LR: 0.1}); !errors.As(err, &re) {
 		t.Fatalf("want *RoundError on severed TCP link, got %v", err)
 	}
-	waitGoroutines(t, baseline)
+	leakcheck.Check(t, baseline)
 }
 
 // TestThrottledLinksPropagateDialError checks the wrapper's error path.

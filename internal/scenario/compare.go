@@ -1,0 +1,288 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is a prior capture's flat metric map, loaded from any of the
+// bench artifact formats this repo has shipped.
+type Baseline struct {
+	Path    string
+	Metrics map[string]float64
+}
+
+// LoadBaseline reads a baseline artifact, sniffing its format:
+//
+//   - ecofl/bench-suite/v1 — the current suite schema; flattened to
+//     "<scenario>.<metric>".
+//   - ecofl/scenario-report/v1 — a single report; flattened the same way.
+//   - the legacy BENCH_pr*.json shape ({"current": {BenchName: {ns_op,...}}}) —
+//     flattened to "<BenchName>.<field>" so pre-harness captures stay usable
+//     as comparison anchors.
+func LoadBaseline(path string) (*Baseline, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var probe struct {
+		Schema  string                        `json:"schema"`
+		Current map[string]map[string]float64 `json:"current"`
+	}
+	if err := json.Unmarshal(b, &probe); err != nil {
+		return nil, fmt.Errorf("%s: not a JSON bench artifact: %w", path, err)
+	}
+	base := &Baseline{Path: path, Metrics: make(map[string]float64)}
+	switch {
+	case probe.Schema == SuiteSchema:
+		var suite Suite
+		if err := json.Unmarshal(b, &suite); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		base.Metrics = suite.Flatten()
+	case probe.Schema == ReportSchema:
+		var rep Report
+		if err := json.Unmarshal(b, &rep); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		for name, v := range rep.Metrics {
+			base.Metrics[rep.Scenario+"."+name] = v
+		}
+	case probe.Current != nil:
+		for bench, fields := range probe.Current {
+			for field, v := range fields {
+				base.Metrics[bench+"."+field] = v
+			}
+		}
+	default:
+		return nil, fmt.Errorf("%s: unrecognized bench artifact (schema %q, no \"current\" map)", path, probe.Schema)
+	}
+	return base, nil
+}
+
+// Tolerance is the allowed relative drift per metric. The Default fraction
+// applies everywhere a PerMetric entry doesn't.
+type Tolerance struct {
+	Default   float64
+	PerMetric map[string]float64
+}
+
+// DefaultTolerance allows 10% drift, a ceiling loose enough for wall-clock
+// noise on shared CI machines but tight enough to catch a real regression in
+// bytes-per-push or accuracy.
+const DefaultTolerance = 0.10
+
+// ParseTolerance parses repeated --tolerance flag values. A bare value
+// ("10%" or "0.1") sets the default; "metric=5%" sets a per-metric override.
+// Per-metric names match report metrics by suffix, so "--tolerance
+// final_accuracy=2%" covers that metric in every scenario.
+func ParseTolerance(flags []string) (Tolerance, error) {
+	tol := Tolerance{Default: DefaultTolerance, PerMetric: make(map[string]float64)}
+	for _, f := range flags {
+		name, val := "", f
+		if i := strings.IndexByte(f, '='); i >= 0 {
+			name, val = f[:i], f[i+1:]
+		}
+		frac, err := parseFraction(val)
+		if err != nil {
+			return tol, fmt.Errorf("tolerance %q: %w", f, err)
+		}
+		if name == "" {
+			tol.Default = frac
+		} else {
+			tol.PerMetric[name] = frac
+		}
+	}
+	return tol, nil
+}
+
+func parseFraction(s string) (float64, error) {
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("want a fraction like 0.1 or a percentage like 10%%")
+	}
+	if pct {
+		v /= 100
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("tolerance cannot be negative")
+	}
+	return v, nil
+}
+
+// forMetric resolves the tolerance for a fully-qualified metric name,
+// preferring the longest matching per-metric suffix.
+func (t Tolerance) forMetric(name string) float64 {
+	best, bestLen := t.Default, -1
+	for suffix, frac := range t.PerMetric {
+		if len(suffix) > bestLen && (name == suffix || strings.HasSuffix(name, "."+suffix)) {
+			best, bestLen = frac, len(suffix)
+		}
+	}
+	return best
+}
+
+// Verdict statuses.
+const (
+	StatusOK         = "ok"
+	StatusImproved   = "improved"
+	StatusRegression = "regression"
+	StatusMissing    = "missing"
+)
+
+// Verdict is the judgement for one metric.
+type Verdict struct {
+	Metric       string
+	Base         float64
+	Current      float64
+	DeltaPct     float64 // signed relative change, percent
+	Tolerance    float64 // fraction
+	HigherBetter bool
+	Status       string
+}
+
+// higherBetterMetrics lists name fragments where a larger value is the good
+// direction; everything else (latencies, bytes, heap, failures) regresses
+// upward.
+var higherBetterMetrics = []string{
+	"accuracy", "pushes_s", "bit_identical", "compression_ratio", "throughput",
+}
+
+func higherBetter(name string) bool {
+	for _, frag := range higherBetterMetrics {
+		if strings.Contains(name, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// Compare judges the current suite against a baseline. Metrics present in
+// the baseline but absent now (renamed, scenario removed) become
+// StatusMissing verdicts — surfaced as warnings, never failures, so harness
+// evolution doesn't brick the regression gate. Metrics new in the current
+// capture are ignored: they have no anchor to drift from.
+func Compare(base *Baseline, current map[string]float64, tol Tolerance) []Verdict {
+	names := make([]string, 0, len(base.Metrics))
+	for name := range base.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var verdicts []Verdict
+	for _, name := range names {
+		bv := base.Metrics[name]
+		v := Verdict{Metric: name, Base: bv, Tolerance: tol.forMetric(name), HigherBetter: higherBetter(name)}
+		cv, ok := current[name]
+		if !ok {
+			v.Status = StatusMissing
+			verdicts = append(verdicts, v)
+			continue
+		}
+		v.Current = cv
+		switch {
+		case bv == cv:
+			v.DeltaPct = 0
+		case bv == 0:
+			v.DeltaPct = math.Inf(sign(cv - bv))
+		default:
+			v.DeltaPct = (cv - bv) / math.Abs(bv) * 100
+		}
+		worse := v.DeltaPct > 0
+		if v.HigherBetter {
+			worse = v.DeltaPct < 0
+		}
+		switch {
+		case math.Abs(v.DeltaPct) <= v.Tolerance*100:
+			v.Status = StatusOK
+		case worse:
+			v.Status = StatusRegression
+		default:
+			v.Status = StatusImproved
+		}
+		verdicts = append(verdicts, v)
+	}
+	return verdicts
+}
+
+func sign(v float64) int {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+// Regressions filters the verdicts that breach their tolerance.
+func Regressions(verdicts []Verdict) []Verdict {
+	var out []Verdict
+	for _, v := range verdicts {
+		if v.Status == StatusRegression {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Missing filters the verdicts whose metric vanished from the current capture.
+func Missing(verdicts []Verdict) []Verdict {
+	var out []Verdict
+	for _, v := range verdicts {
+		if v.Status == StatusMissing {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// WriteVerdictTable renders the human-readable comparison. Regressions sort
+// first so the reason for a non-zero exit is at the top of the output.
+func WriteVerdictTable(w io.Writer, verdicts []Verdict) {
+	rank := map[string]int{StatusRegression: 0, StatusMissing: 1, StatusImproved: 2, StatusOK: 3}
+	sorted := append([]Verdict(nil), verdicts...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if rank[sorted[i].Status] != rank[sorted[j].Status] {
+			return rank[sorted[i].Status] < rank[sorted[j].Status]
+		}
+		return sorted[i].Metric < sorted[j].Metric
+	})
+	fmt.Fprintf(w, "%-52s %14s %14s %9s %6s  %s\n",
+		"metric", "baseline", "current", "delta", "tol", "verdict")
+	for _, v := range sorted {
+		if v.Status == StatusMissing {
+			fmt.Fprintf(w, "%-52s %14s %14s %9s %5.0f%%  %s (warning: not in current capture)\n",
+				v.Metric, fmtVal(v.Base), "-", "-", v.Tolerance*100, v.Status)
+			continue
+		}
+		arrow := ""
+		if v.Status == StatusImproved {
+			arrow = " ✓"
+		} else if v.Status == StatusRegression {
+			arrow = " ✗"
+		}
+		fmt.Fprintf(w, "%-52s %14s %14s %+8.1f%% %5.0f%%  %s%s\n",
+			v.Metric, fmtVal(v.Base), fmtVal(v.Current), v.DeltaPct, v.Tolerance*100, v.Status, arrow)
+	}
+}
+
+// fmtVal renders a metric value compactly across the magnitudes the reports
+// mix (accuracies ~0.9, byte totals ~1e6, pause times ~1e-5).
+func fmtVal(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e6 || av < 1e-3:
+		return strconv.FormatFloat(v, 'g', 4, 64)
+	case av >= 100:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	default:
+		return strconv.FormatFloat(v, 'f', 4, 64)
+	}
+}

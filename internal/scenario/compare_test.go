@@ -1,0 +1,218 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadBaselineSuite(t *testing.T) {
+	path := writeTemp(t, "suite.json", `{
+	  "schema": "ecofl/bench-suite/v1",
+	  "scenarios": [
+	    {"schema": "ecofl/scenario-report/v1", "scenario": "s1", "topology": "flnet", "seed": 1,
+	     "elapsed_seconds": 1, "metrics": {"final_accuracy": 0.8, "peak_heap_bytes": 1000}}
+	  ]
+	}`)
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Metrics["s1.final_accuracy"] != 0.8 || base.Metrics["s1.peak_heap_bytes"] != 1000 {
+		t.Fatalf("suite flattening wrong: %v", base.Metrics)
+	}
+}
+
+func TestLoadBaselineSingleReport(t *testing.T) {
+	path := writeTemp(t, "report.json", `{
+	  "schema": "ecofl/scenario-report/v1", "scenario": "solo", "topology": "fl", "seed": 1,
+	  "elapsed_seconds": 1, "metrics": {"rounds": 12}
+	}`)
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Metrics["solo.rounds"] != 12 {
+		t.Fatalf("report flattening wrong: %v", base.Metrics)
+	}
+}
+
+// TestLoadBaselineLegacy checks the pre-harness BENCH_pr*.json shape still
+// loads, so old captures remain usable anchors.
+func TestLoadBaselineLegacy(t *testing.T) {
+	path := writeTemp(t, "legacy.json", `{
+	  "generated_by": "scripts/bench.sh",
+	  "current": {"BenchmarkMatMul64": {"ns_op": 174635, "allocs_op": 5}}
+	}`)
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Metrics["BenchmarkMatMul64.ns_op"] != 174635 {
+		t.Fatalf("legacy flattening wrong: %v", base.Metrics)
+	}
+}
+
+func TestLoadBaselineRejectsJunk(t *testing.T) {
+	for name, content := range map[string]string{
+		"not json":       `horse`,
+		"unknown schema": `{"schema": "other/v9"}`,
+	} {
+		if _, err := LoadBaseline(writeTemp(t, "junk.json", content)); err == nil {
+			t.Errorf("%s: LoadBaseline accepted junk", name)
+		}
+	}
+}
+
+func TestParseTolerance(t *testing.T) {
+	tol, err := ParseTolerance([]string{"5%", "final_accuracy=2%", "peak_heap_bytes=0.25"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tol.Default != 0.05 {
+		t.Fatalf("default = %v", tol.Default)
+	}
+	if got := tol.forMetric("clean.final_accuracy"); got != 0.02 {
+		t.Fatalf("per-metric suffix match = %v", got)
+	}
+	if got := tol.forMetric("smoke.peak_heap_bytes"); got != 0.25 {
+		t.Fatalf("fraction form = %v", got)
+	}
+	if got := tol.forMetric("smoke.rounds"); got != 0.05 {
+		t.Fatalf("fallback = %v", got)
+	}
+	for _, bad := range []string{"abc", "-5%", "x="} {
+		if _, err := ParseTolerance([]string{bad}); err == nil {
+			t.Errorf("ParseTolerance accepted %q", bad)
+		}
+	}
+}
+
+// TestCompareDoctoredBaseline doctors a baseline so the current capture looks
+// worse, and checks the gate trips — in both badness directions.
+func TestCompareDoctoredBaseline(t *testing.T) {
+	base := &Baseline{Path: "doctored", Metrics: map[string]float64{
+		"s.final_accuracy":  0.95, // higher-better: current 0.70 is a big drop
+		"s.peak_heap_bytes": 1000, // lower-better: current 1500 is a big rise
+		"s.rounds":          10,   // unchanged
+	}}
+	current := map[string]float64{
+		"s.final_accuracy":  0.70,
+		"s.peak_heap_bytes": 1500,
+		"s.rounds":          10,
+	}
+	verdicts := Compare(base, current, Tolerance{Default: 0.10})
+	regs := Regressions(verdicts)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions, got %d: %+v", len(regs), regs)
+	}
+	byName := map[string]Verdict{}
+	for _, v := range verdicts {
+		byName[v.Metric] = v
+	}
+	if v := byName["s.final_accuracy"]; v.Status != StatusRegression || !v.HigherBetter {
+		t.Fatalf("accuracy drop not flagged: %+v", v)
+	}
+	if v := byName["s.peak_heap_bytes"]; v.Status != StatusRegression || v.HigherBetter {
+		t.Fatalf("heap rise not flagged: %+v", v)
+	}
+	if v := byName["s.rounds"]; v.Status != StatusOK {
+		t.Fatalf("unchanged metric not ok: %+v", v)
+	}
+}
+
+func TestCompareImprovementsAndTolerance(t *testing.T) {
+	base := &Baseline{Metrics: map[string]float64{
+		"s.final_accuracy":   0.80,
+		"s.round_time_p95_s": 1.00,
+	}}
+	current := map[string]float64{
+		"s.final_accuracy":   0.90, // +12.5%, higher-better → improved
+		"s.round_time_p95_s": 1.05, // +5% within 10% → ok
+	}
+	verdicts := Compare(base, current, Tolerance{Default: 0.10})
+	byName := map[string]Verdict{}
+	for _, v := range verdicts {
+		byName[v.Metric] = v
+	}
+	if byName["s.final_accuracy"].Status != StatusImproved {
+		t.Fatalf("improvement not flagged: %+v", byName["s.final_accuracy"])
+	}
+	if byName["s.round_time_p95_s"].Status != StatusOK {
+		t.Fatalf("within-tolerance drift not ok: %+v", byName["s.round_time_p95_s"])
+	}
+	// Tighten the per-metric tolerance and the same drift regresses.
+	tight := Compare(base, current, Tolerance{Default: 0.10, PerMetric: map[string]float64{"round_time_p95_s": 0.01}})
+	for _, v := range tight {
+		if v.Metric == "s.round_time_p95_s" && v.Status != StatusRegression {
+			t.Fatalf("tight tolerance did not trip: %+v", v)
+		}
+	}
+}
+
+// TestCompareMissingIsWarningNotFailure: metrics present in the baseline but
+// absent now must come back as StatusMissing — never as regressions.
+func TestCompareMissingIsWarningNotFailure(t *testing.T) {
+	base := &Baseline{Metrics: map[string]float64{
+		"old.renamed_metric": 5,
+		"s.rounds":           10,
+	}}
+	current := map[string]float64{"s.rounds": 10}
+	verdicts := Compare(base, current, Tolerance{Default: 0.10})
+	if regs := Regressions(verdicts); len(regs) != 0 {
+		t.Fatalf("missing metric treated as regression: %+v", regs)
+	}
+	missing := Missing(verdicts)
+	if len(missing) != 1 || missing[0].Metric != "old.renamed_metric" {
+		t.Fatalf("missing verdicts wrong: %+v", missing)
+	}
+}
+
+func TestVerdictTableRendersRegressionsFirst(t *testing.T) {
+	verdicts := []Verdict{
+		{Metric: "a.ok_metric", Base: 1, Current: 1, Status: StatusOK, Tolerance: 0.1},
+		{Metric: "b.bad_metric", Base: 1, Current: 2, DeltaPct: 100, Status: StatusRegression, Tolerance: 0.1},
+		{Metric: "c.gone_metric", Base: 3, Status: StatusMissing, Tolerance: 0.1},
+	}
+	var buf bytes.Buffer
+	WriteVerdictTable(&buf, verdicts)
+	out := buf.String()
+	iBad := strings.Index(out, "b.bad_metric")
+	iGone := strings.Index(out, "c.gone_metric")
+	iOK := strings.Index(out, "a.ok_metric")
+	if iBad < 0 || iGone < 0 || iOK < 0 {
+		t.Fatalf("table missing rows:\n%s", out)
+	}
+	if !(iBad < iGone && iGone < iOK) {
+		t.Fatalf("rows not ranked regression < missing < ok:\n%s", out)
+	}
+	if !strings.Contains(out, "warning: not in current capture") {
+		t.Fatalf("missing row lacks warning note:\n%s", out)
+	}
+}
+
+func TestHigherBetterInference(t *testing.T) {
+	for name, want := range map[string]bool{
+		"s.final_accuracy":   true,
+		"s.bit_identical":    true,
+		"b.pushes_s":         true,
+		"s.peak_heap_bytes":  false,
+		"s.round_time_p95_s": false,
+		"s.push_failures":    false,
+	} {
+		if got := higherBetter(name); got != want {
+			t.Errorf("higherBetter(%s) = %v", name, got)
+		}
+	}
+}

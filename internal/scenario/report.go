@@ -1,0 +1,137 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Schema identifiers for the machine-readable artifacts. Bump the version on
+// any breaking change to the JSON shape; the golden-file test in
+// report_test.go pins the current layout.
+const (
+	ReportSchema = "ecofl/scenario-report/v1"
+	SuiteSchema  = "ecofl/bench-suite/v1"
+)
+
+// CurvePoint is one accuracy sample. Time is virtual seconds for the fl
+// topology and the 1-based round index for the flnet topology (wall-clock
+// would make the curve machine-dependent).
+type CurvePoint struct {
+	Time     float64 `json:"t"`
+	Accuracy float64 `json:"accuracy"`
+}
+
+// Report is one executed scenario's measurements.
+type Report struct {
+	Schema   string `json:"schema"`
+	Scenario string `json:"scenario"`
+	Topology string `json:"topology"`
+	Seed     int64  `json:"seed"`
+	// GitSHA and StartedUnix are provenance passed in by the caller (the
+	// bench CLI's --git-sha / --now flags) — never read ambiently, so a
+	// report generated in a test or a hermetic build is still reproducible.
+	GitSHA      string `json:"git_sha,omitempty"`
+	StartedUnix int64  `json:"started_unix,omitempty"`
+	// ElapsedSeconds is the wall-clock cost of the run.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// Metrics is the flat name→value map the compare engine diffs. Names are
+	// stable identifiers (see runner.go); values are final-state numbers —
+	// accuracies, quantiles, byte rates, runtime peaks.
+	Metrics map[string]float64 `json:"metrics"`
+	// Curve is the accuracy-over-time series, when the topology trains a
+	// global model.
+	Curve []CurvePoint `json:"accuracy_curve,omitempty"`
+	// Warnings records non-fatal anomalies observed during the run (push
+	// failures under chaos, missing instrumentation).
+	Warnings []string `json:"warnings,omitempty"`
+}
+
+// setMetric records one named measurement.
+func (r *Report) setMetric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = v
+}
+
+// warnf appends a formatted warning.
+func (r *Report) warnf(format string, args ...any) {
+	r.Warnings = append(r.Warnings, fmt.Sprintf(format, args...))
+}
+
+// MetricNames returns the report's metric names, sorted.
+func (r *Report) MetricNames() []string {
+	names := make([]string, 0, len(r.Metrics))
+	for name := range r.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteJSON renders the report with stable formatting (indented, sorted
+// keys via encoding/json's map ordering), so diffs between captures are
+// line-oriented.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Suite is a set of scenario reports captured together — the BENCH_prN.json
+// artifact scripts/bench.sh writes and `ecofl bench --compare` reads.
+type Suite struct {
+	Schema      string `json:"schema"`
+	GeneratedBy string `json:"generated_by,omitempty"`
+	GitSHA      string `json:"git_sha,omitempty"`
+	// GeneratedUnix is the caller-supplied capture time (see Report
+	// provenance fields).
+	GeneratedUnix int64     `json:"generated_unix,omitempty"`
+	Scenarios     []*Report `json:"scenarios"`
+}
+
+// NewSuite assembles reports into a versioned suite.
+func NewSuite(generatedBy, gitSHA string, generatedUnix int64, reports []*Report) *Suite {
+	return &Suite{
+		Schema:        SuiteSchema,
+		GeneratedBy:   generatedBy,
+		GitSHA:        gitSHA,
+		GeneratedUnix: generatedUnix,
+		Scenarios:     reports,
+	}
+}
+
+// Flatten renders the suite as the compare engine's flat metric map:
+// "<scenario>.<metric>" → value.
+func (s *Suite) Flatten() map[string]float64 {
+	out := make(map[string]float64)
+	for _, rep := range s.Scenarios {
+		for name, v := range rep.Metrics {
+			out[rep.Scenario+"."+name] = v
+		}
+	}
+	return out
+}
+
+// WriteJSON renders the suite indented.
+func (s *Suite) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteFile writes the suite to path.
+func (s *Suite) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := s.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

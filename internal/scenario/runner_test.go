@@ -1,0 +1,173 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ecofl/internal/obs/leakcheck"
+)
+
+// flnetSmokeSpec is a tiny loopback federation exercising every codec.
+func flnetSmokeSpec() *Spec {
+	spec, err := Parse([]byte(`{
+	  "name": "smoke-test",
+	  "topology": "flnet",
+	  "seed": 7,
+	  "fleet": {"clients": 3, "dataset_size": 200, "local_epochs": 1},
+	  "aggregation": {"alpha": 0.5, "mu": 0.05},
+	  "wire": {"codec": "mixed", "mode": "binary", "top_k": 64},
+	  "run": {"rounds": 2}
+	}`))
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// TestRunFLNetSmoke runs the real loopback transport and checks the report
+// carries every metric the regression gate keys on.
+func TestRunFLNetSmoke(t *testing.T) {
+	base := leakcheck.Baseline()
+	rep, err := Run(flnetSmokeSpec(), RunOptions{GitSHA: "testsha", Now: 1754000000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leakcheck.Check(t, base)
+
+	if rep.Schema != ReportSchema || rep.Scenario != "smoke-test" || rep.Topology != TopologyFLNet {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	if rep.GitSHA != "testsha" || rep.StartedUnix != 1754000000 {
+		t.Fatalf("provenance not recorded: sha=%q started=%d", rep.GitSHA, rep.StartedUnix)
+	}
+	for _, name := range []string{
+		"final_accuracy", "best_accuracy", "rounds", "pushes",
+		"round_time_p50_s", "round_time_p95_s",
+		"bytes_per_push_raw", "bytes_per_push_quant", "bytes_per_push_sparse",
+		"server_bytes_read", "server_bytes_written",
+		"goroutine_hwm", "peak_heap_bytes",
+	} {
+		if _, ok := rep.Metrics[name]; !ok {
+			t.Errorf("report missing metric %s (have %v)", name, rep.MetricNames())
+		}
+	}
+	if len(rep.Curve) != 2 {
+		t.Fatalf("want 2 curve points, got %d", len(rep.Curve))
+	}
+	if rep.Metrics["pushes"] != 6 {
+		t.Errorf("3 clients x 2 rounds should push 6 times, got %v", rep.Metrics["pushes"])
+	}
+	if rep.Metrics["goroutine_hwm"] < 2 {
+		t.Errorf("goroutine HWM implausibly low: %v", rep.Metrics["goroutine_hwm"])
+	}
+	if rep.Metrics["peak_heap_bytes"] <= 0 {
+		t.Errorf("peak heap not sampled: %v", rep.Metrics["peak_heap_bytes"])
+	}
+	// Sparse pushes must actually be smaller than raw — the whole point of
+	// reporting bytes per push per codec.
+	if rep.Metrics["bytes_per_push_sparse"] >= rep.Metrics["bytes_per_push_raw"] {
+		t.Errorf("sparse (%v B) not smaller than raw (%v B)",
+			rep.Metrics["bytes_per_push_sparse"], rep.Metrics["bytes_per_push_raw"])
+	}
+	for name, v := range rep.Metrics {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("metric %s is %v", name, v)
+		}
+	}
+}
+
+// TestRunFLNetAccuracyDeterministic: same spec, same seed → identical curve,
+// even though the run crosses real sockets.
+func TestRunFLNetAccuracyDeterministic(t *testing.T) {
+	a, err := Run(flnetSmokeSpec(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(flnetSmokeSpec(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Curve, b.Curve) {
+		t.Fatalf("accuracy curve not deterministic:\n%v\n%v", a.Curve, b.Curve)
+	}
+	if a.Metrics["bytes_per_push_raw"] != b.Metrics["bytes_per_push_raw"] {
+		t.Fatalf("wire bytes not deterministic: %v != %v",
+			a.Metrics["bytes_per_push_raw"], b.Metrics["bytes_per_push_raw"])
+	}
+}
+
+// TestRunFLTopology drives a miniature virtual-time simulation end to end.
+func TestRunFLTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fl simulation smoke is not -short")
+	}
+	spec, err := Parse([]byte(`{
+	  "name": "fl-mini",
+	  "topology": "fl",
+	  "seed": 3,
+	  "fleet": {"clients": 8, "dataset_size": 300, "max_concurrent": 4, "local_epochs": 1,
+	            "mean_delay_s": 40, "std_delay_s": 12},
+	  "aggregation": {"strategy": "fedavg", "mu": 0.05},
+	  "run": {"duration_s": 200, "eval_interval_s": 50}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"final_accuracy", "rounds", "round_time_p50_s", "round_time_p95_s", "goroutine_hwm"} {
+		if _, ok := rep.Metrics[name]; !ok {
+			t.Errorf("fl report missing %s (have %v)", name, rep.MetricNames())
+		}
+	}
+	if rep.Metrics["rounds"] <= 0 {
+		t.Errorf("no rounds completed: %v", rep.Metrics["rounds"])
+	}
+	if len(rep.Curve) == 0 {
+		t.Error("fl report has no accuracy curve")
+	}
+	if p50, p95 := rep.Metrics["round_time_p50_s"], rep.Metrics["round_time_p95_s"]; p50 <= 0 || p95 < p50 {
+		t.Errorf("round-time quantiles implausible: p50=%v p95=%v", p50, p95)
+	}
+}
+
+// TestRunRejectsInvalidSpec: the runner itself re-validates, so a
+// hand-constructed bad spec cannot sneak past the loader.
+func TestRunRejectsInvalidSpec(t *testing.T) {
+	if _, err := Run(&Spec{Name: "x", Topology: "mesh"}, RunOptions{}); err == nil {
+		t.Fatal("Run accepted an invalid spec")
+	}
+}
+
+// TestRunFLNetWithChaos: drop-mode chaos on one client's link must not stall
+// the run or corrupt the report; retries are surfaced as metrics.
+func TestRunFLNetWithChaos(t *testing.T) {
+	spec, err := Parse([]byte(`{
+	  "name": "chaos",
+	  "topology": "flnet",
+	  "seed": 9,
+	  "fleet": {"clients": 3, "dataset_size": 200, "local_epochs": 1},
+	  "aggregation": {"alpha": 0.5},
+	  "wire": {"codec": "raw", "mode": "binary"},
+	  "faults": [{"mode": "drop", "prob": 0.2, "after": 6, "clients": [1]}],
+	  "run": {"rounds": 2}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := leakcheck.Baseline()
+	rep, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leakcheck.Check(t, base)
+	if _, ok := rep.Metrics["client_retries"]; !ok {
+		t.Fatalf("chaos run missing client_retries (have %v)", rep.MetricNames())
+	}
+	if len(rep.Curve) != 2 {
+		t.Fatalf("chaos run lost curve points: %d", len(rep.Curve))
+	}
+}

@@ -1,0 +1,357 @@
+// Package scenario is the declarative experiment harness: a JSON spec
+// describes a whole end-to-end run — topology, fleet, aggregation strategy,
+// wire codec, fault schedule, and horizon — and a single runner executes it
+// while sampling both the domain metrics (accuracy curve, round-time
+// quantiles, payload bytes per codec) and the Go runtime (goroutine
+// high-water mark, peak heap, GC pause tail), emitting a versioned
+// machine-readable report. The compare engine diffs such reports against a
+// prior capture with per-metric tolerances, turning "did this PR regress the
+// system?" into an exit code.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"ecofl/internal/simnet"
+)
+
+// SpecSchema versions the scenario spec format.
+const SpecSchema = "ecofl/scenario/v1"
+
+// Topology names the execution substrate a scenario runs on.
+const (
+	// TopologyFL is the in-process virtual-time FL simulation
+	// (internal/fl): strategies, grouping, dropout and quorum, no sockets.
+	TopologyFL = "fl"
+	// TopologyFLNet is the loopback client/server federation over the real
+	// flnet transport: wire codecs, retries, dedup, and chaos dialers.
+	TopologyFLNet = "flnet"
+	// TopologyPipeline is the distributed pipeline failover run
+	// (experiments.LiveFailover): live migration under link chaos.
+	TopologyPipeline = "pipeline"
+)
+
+// Spec is one declarative scenario. The zero value is not runnable; load
+// specs with Load/Parse, which validate fail-closed.
+type Spec struct {
+	Schema   string `json:"schema,omitempty"`
+	Name     string `json:"name"`
+	Topology string `json:"topology"`
+	// Seed is the scenario's master seed: dataset sharding, latency draws,
+	// strategy rng, and chaos schedules all derive from it.
+	Seed int64 `json:"seed"`
+
+	Fleet    FleetSpec    `json:"fleet"`
+	Agg      AggSpec      `json:"aggregation"`
+	Wire     WireSpec     `json:"wire,omitempty"`
+	Faults   []FaultSpec  `json:"faults,omitempty"`
+	Run      RunSpec      `json:"run"`
+	Pipeline PipelineSpec `json:"pipeline,omitempty"`
+}
+
+// FleetSpec sizes the client fleet and its compute/latency distribution.
+type FleetSpec struct {
+	Clients     int    `json:"clients"`
+	Dataset     string `json:"dataset,omitempty"` // mnist (default), fashion-mnist, cifar10
+	DatasetSize int    `json:"dataset_size,omitempty"`
+	// MaxConcurrent caps clients training at once (fl topology).
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	LocalEpochs   int `json:"local_epochs,omitempty"`
+	// MeanDelay/StdDelay parameterize the response-delay distribution the
+	// fleet's base latencies are drawn from (virtual seconds, fl topology).
+	MeanDelay float64 `json:"mean_delay_s,omitempty"`
+	StdDelay  float64 `json:"std_delay_s,omitempty"`
+}
+
+// AggSpec selects the aggregation strategy and its knobs.
+type AggSpec struct {
+	// Strategy is one of fl.StrategyNames(): fedavg, fedasync, fedat,
+	// astraea, eco-fl, eco-fl-nodg. flnet topology ignores it (the server is
+	// always the asynchronous staleness-aware aggregator).
+	Strategy string `json:"strategy,omitempty"`
+	// Mu is the FedProx proximal coefficient; Alpha the asynchronous mixing
+	// weight; Lambda the grouping trade-off of Eq. 4.
+	Mu     float64 `json:"mu,omitempty"`
+	Alpha  float64 `json:"alpha,omitempty"`
+	Lambda float64 `json:"lambda,omitempty"`
+	// NumGroups / GroupSyncEvery shape the hierarchical strategies.
+	NumGroups      int `json:"num_groups,omitempty"`
+	GroupSyncEvery int `json:"group_sync_every,omitempty"`
+	// DropoutProb and Quorum drive the fault-resilience machinery of the fl
+	// topology (per-round client dropout, quorum-cut rounds).
+	DropoutProb float64 `json:"dropout_prob,omitempty"`
+	Quorum      float64 `json:"quorum,omitempty"`
+	// Dynamic enables collaborative-degree re-draws (the paper's dynamic
+	// setting).
+	Dynamic bool `json:"dynamic,omitempty"`
+}
+
+// Wire codec names accepted by WireSpec.Codec.
+const (
+	CodecRaw    = "raw"
+	CodecQuant  = "quant"
+	CodecSparse = "sparse"
+	// CodecMixed cycles clients through raw/quant/sparse, so one scenario
+	// exercises (and reports bytes/round for) every codec.
+	CodecMixed = "mixed"
+)
+
+// WireSpec selects the flnet transport encoding (flnet topology only).
+type WireSpec struct {
+	Codec string `json:"codec,omitempty"` // raw (default), quant, sparse, mixed
+	Mode  string `json:"mode,omitempty"`  // auto (default), binary, gob
+	// TopK caps coordinates per sparse push (sparse/mixed codec). 0 means
+	// 1/8 of the model.
+	TopK int `json:"top_k,omitempty"`
+}
+
+// FaultSpec is one entry of the fault schedule, reusing the deterministic
+// simnet chaos modes. In the flnet topology each entry owns the links of the
+// clients it names (empty Clients = every client); in the pipeline topology
+// the first entry sets the link chaos plan.
+type FaultSpec struct {
+	Mode simnet.FaultMode `json:"mode"`
+	// Prob is the per-write trigger probability in [0, 1].
+	Prob float64 `json:"prob"`
+	// After exempts the first After writes of each link.
+	After int `json:"after,omitempty"`
+	// StallMS / PartitionMS size the stall freeze and partition outage.
+	StallMS     int `json:"stall_ms,omitempty"`
+	PartitionMS int `json:"partition_ms,omitempty"`
+	// Clients restricts the faulty links to these client IDs.
+	Clients []int `json:"clients,omitempty"`
+}
+
+// RunSpec sets the scenario horizon.
+type RunSpec struct {
+	// Duration and EvalInterval are virtual seconds (fl topology).
+	Duration     float64 `json:"duration_s,omitempty"`
+	EvalInterval float64 `json:"eval_interval_s,omitempty"`
+	// Rounds drives the flnet topology (push rounds per client) and the
+	// pipeline topology (sync-rounds trained).
+	Rounds int `json:"rounds,omitempty"`
+}
+
+// PipelineSpec configures the pipeline topology's failover run.
+type PipelineSpec struct {
+	MicroBatchSize int `json:"micro_batch_size,omitempty"`
+	// FailRound / FailDevice schedule a stage-device kill; FailRound < 0
+	// disables the kill.
+	FailRound  int `json:"fail_round,omitempty"`
+	FailDevice int `json:"fail_device,omitempty"`
+}
+
+// Load reads and validates a scenario spec file.
+func Load(path string) (*Spec, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	spec, err := Parse(b)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// Parse decodes and validates a scenario spec. Unknown fields are rejected —
+// a typoed knob must fail loudly, not silently run the default.
+func Parse(b []byte) (*Spec, error) {
+	var spec Spec
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+// Validate checks the spec fail-closed: anything out of range or unknown is
+// an error naming the offending field and value.
+func (s *Spec) Validate() error {
+	if s.Schema != "" && s.Schema != SpecSchema {
+		return fmt.Errorf("schema %q is not %q", s.Schema, SpecSchema)
+	}
+	if s.Name == "" {
+		return fmt.Errorf("name must be set")
+	}
+	switch s.Topology {
+	case TopologyFL, TopologyFLNet, TopologyPipeline:
+	case "":
+		return fmt.Errorf("topology must be set (fl, flnet or pipeline)")
+	default:
+		return fmt.Errorf("unknown topology %q (fl, flnet or pipeline)", s.Topology)
+	}
+	if err := s.Fleet.validate(s.Topology); err != nil {
+		return err
+	}
+	if err := s.Agg.validate(s.Topology); err != nil {
+		return err
+	}
+	if err := s.Wire.validate(); err != nil {
+		return err
+	}
+	for i, f := range s.Faults {
+		if err := f.validate(i); err != nil {
+			return err
+		}
+	}
+	if err := s.Run.validate(s.Topology); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (f FleetSpec) validate(topology string) error {
+	if topology != TopologyPipeline && f.Clients <= 0 {
+		return fmt.Errorf("fleet.clients must be positive (got %d)", f.Clients)
+	}
+	switch f.Dataset {
+	case "", "mnist", "fashion-mnist", "cifar10":
+	default:
+		return fmt.Errorf("unknown fleet.dataset %q (mnist, fashion-mnist, cifar10)", f.Dataset)
+	}
+	if f.DatasetSize < 0 {
+		return fmt.Errorf("fleet.dataset_size must not be negative (got %d)", f.DatasetSize)
+	}
+	if f.MaxConcurrent < 0 {
+		return fmt.Errorf("fleet.max_concurrent must not be negative (got %d)", f.MaxConcurrent)
+	}
+	if f.LocalEpochs < 0 {
+		return fmt.Errorf("fleet.local_epochs must not be negative (got %d)", f.LocalEpochs)
+	}
+	if f.MeanDelay < 0 || f.StdDelay < 0 {
+		return fmt.Errorf("fleet delay parameters must not be negative (mean %g, std %g)", f.MeanDelay, f.StdDelay)
+	}
+	return nil
+}
+
+func (a AggSpec) validate(topology string) error {
+	if topology == TopologyFL {
+		if a.Strategy == "" {
+			return fmt.Errorf("aggregation.strategy must be set for the fl topology")
+		}
+		if !knownStrategy(a.Strategy) {
+			return fmt.Errorf("unknown aggregation.strategy %q", a.Strategy)
+		}
+	}
+	if a.Mu < 0 {
+		return fmt.Errorf("aggregation.mu must not be negative (got %g)", a.Mu)
+	}
+	if a.Alpha < 0 || a.Alpha > 1 {
+		return fmt.Errorf("aggregation.alpha must be in [0, 1] (got %g)", a.Alpha)
+	}
+	if a.Lambda < 0 {
+		return fmt.Errorf("aggregation.lambda must not be negative (got %g)", a.Lambda)
+	}
+	if a.NumGroups < 0 {
+		return fmt.Errorf("aggregation.num_groups must not be negative (got %d)", a.NumGroups)
+	}
+	if a.GroupSyncEvery < 0 {
+		return fmt.Errorf("aggregation.group_sync_every must not be negative (got %d)", a.GroupSyncEvery)
+	}
+	if a.DropoutProb < 0 || a.DropoutProb > 1 {
+		return fmt.Errorf("aggregation.dropout_prob must be in [0, 1] (got %g)", a.DropoutProb)
+	}
+	if a.Quorum < 0 || a.Quorum > 1 {
+		return fmt.Errorf("aggregation.quorum must be in [0, 1] (got %g)", a.Quorum)
+	}
+	return nil
+}
+
+func (w WireSpec) validate() error {
+	switch w.Codec {
+	case "", CodecRaw, CodecQuant, CodecSparse, CodecMixed:
+	default:
+		return fmt.Errorf("unknown wire.codec %q (raw, quant, sparse, mixed)", w.Codec)
+	}
+	switch w.Mode {
+	case "", "auto", "binary", "gob":
+	default:
+		return fmt.Errorf("unknown wire.mode %q (auto, binary, gob)", w.Mode)
+	}
+	if w.TopK < 0 {
+		return fmt.Errorf("wire.top_k must not be negative (got %d)", w.TopK)
+	}
+	return nil
+}
+
+func (f FaultSpec) validate(i int) error {
+	// Mode is validated by FaultMode.UnmarshalText at decode time; a
+	// hand-constructed Spec still goes through the range check here.
+	if f.Mode < simnet.FaultNone || f.Mode > simnet.FaultPartition {
+		return fmt.Errorf("faults[%d].mode %d is not a known fault mode", i, int(f.Mode))
+	}
+	if f.Prob < 0 || f.Prob > 1 {
+		return fmt.Errorf("faults[%d].prob must be in [0, 1] (got %g)", i, f.Prob)
+	}
+	if f.After < 0 {
+		return fmt.Errorf("faults[%d].after must not be negative (got %d)", i, f.After)
+	}
+	if f.StallMS < 0 || f.PartitionMS < 0 {
+		return fmt.Errorf("faults[%d] durations must not be negative (stall %dms, partition %dms)", i, f.StallMS, f.PartitionMS)
+	}
+	for _, id := range f.Clients {
+		if id < 0 {
+			return fmt.Errorf("faults[%d].clients contains negative id %d", i, id)
+		}
+	}
+	return nil
+}
+
+func (r RunSpec) validate(topology string) error {
+	if r.Duration < 0 {
+		return fmt.Errorf("run.duration_s must not be negative (got %g)", r.Duration)
+	}
+	if r.EvalInterval < 0 {
+		return fmt.Errorf("run.eval_interval_s must not be negative (got %g)", r.EvalInterval)
+	}
+	if r.Rounds < 0 {
+		return fmt.Errorf("run.rounds must not be negative (got %d)", r.Rounds)
+	}
+	switch topology {
+	case TopologyFL:
+		if r.Duration == 0 {
+			return fmt.Errorf("run.duration_s must be positive for the fl topology")
+		}
+	case TopologyFLNet, TopologyPipeline:
+		if r.Rounds == 0 {
+			return fmt.Errorf("run.rounds must be positive for the %s topology", topology)
+		}
+	}
+	return nil
+}
+
+// plan materializes one fault entry into a simnet plan for client id's link,
+// deriving the chaos seed from the scenario seed and the client id so every
+// link gets an independent but reproducible schedule.
+func (f FaultSpec) plan(scenarioSeed int64, id int) simnet.FaultPlan {
+	return simnet.FaultPlan{
+		Seed:      scenarioSeed + 1000 + int64(id),
+		Mode:      f.Mode,
+		Prob:      f.Prob,
+		After:     f.After,
+		Stall:     time.Duration(f.StallMS) * time.Millisecond,
+		Partition: time.Duration(f.PartitionMS) * time.Millisecond,
+	}
+}
+
+// appliesTo reports whether the fault entry covers client id.
+func (f FaultSpec) appliesTo(id int) bool {
+	if len(f.Clients) == 0 {
+		return true
+	}
+	for _, c := range f.Clients {
+		if c == id {
+			return true
+		}
+	}
+	return false
+}

@@ -75,6 +75,26 @@ func ParseFaultMode(s string) (FaultMode, error) {
 	return FaultNone, fmt.Errorf("simnet: unknown fault mode %q (none, drop, stall, black-hole, sever, partition)", s)
 }
 
+// MarshalText renders the mode by name, so a FaultMode field serializes as
+// "drop" / "partition" in JSON scenario specs instead of a bare integer.
+func (m FaultMode) MarshalText() ([]byte, error) {
+	if m < FaultNone || m > FaultPartition {
+		return nil, fmt.Errorf("simnet: cannot marshal unknown fault mode %d", int(m))
+	}
+	return []byte(m.String()), nil
+}
+
+// UnmarshalText parses a mode name (the ParseFaultMode format), making
+// FaultMode usable directly in JSON-decoded configuration.
+func (m *FaultMode) UnmarshalText(b []byte) error {
+	parsed, err := ParseFaultMode(string(b))
+	if err != nil {
+		return err
+	}
+	*m = parsed
+	return nil
+}
+
 // FaultPlan is a deterministic fault schedule.
 type FaultPlan struct {
 	Seed int64

@@ -1,90 +1,40 @@
 #!/usr/bin/env bash
-# Runs the tensor/nn/fl/obs/metrics/flnet/pipeline-runtime benchmarks and
-# writes BENCH_pr6.json mapping each benchmark to ns/op and allocs/op —
-# plus pushes/s and bytes/round where a benchmark reports them — alongside
-# the seed baseline and the PR1 numbers captured on the same host
-# (BENCH_pr1.json..BENCH_pr5.json in the repo root hold earlier captures).
+# Thin wrapper over the scenario harness: runs the example scenarios through
+# `ecofl bench` and writes BENCH_pr7.json in the ecofl/bench-suite/v1 schema
+# (accuracy curve, round-time p50/p95, bytes/push per wire codec, goroutine
+# HWM, peak heap, GC pause tail — per scenario).
 #
-# Wire transport gains are read off BenchmarkServerIngest: gob-raw is the
-# legacy reflection-encoded baseline; binary-raw/-quant/-sparse-1k are the
-# framed codecs on the same 100k-weight model. The acceptance bar is
-# binary-sparse-1k at >=2x gob-raw pushes/s and >=4x fewer bytes/round.
+# Usage:
+#   scripts/bench.sh [out.json] [baseline.json]
 #
-# Self-healing hardening overhead is read off one comparison:
-#   - BenchmarkDistRound/bare vs BenchmarkDistRound/hardened: a fault-free
-#     distributed sync-round with zero LinkOptions vs full send/recv
-#     deadlines + heartbeats + dial retries. The budget is <2% steady-state.
+# With a baseline, the run becomes a regression gate: metrics drifting past
+# tolerance exit non-zero with a verdict table. Earlier captures
+# (BENCH_pr1.json..BENCH_pr6.json, the go-bench ns/op schema) still load as
+# baselines; their metrics are reported missing-with-warning, never failures.
 #
-# Telemetry overhead is read off two comparisons:
-#   - BenchmarkPushRaw vs BenchmarkPushRawWithTelemetry: the true piggyback
-#     cost per push (snapshot build + extra gob payload) — small next to a
-#     100k-weight payload.
-#   - BenchmarkSamplerSample / BenchmarkSeriesAppend: the periodic history
-#     cost on the server — a sample every 2 s over a fleet-sized registry,
-#     nothing on any hot path. The idle path (telemetry disabled) costs one
-#     nil check per roundTrip, i.e. ~0, like the nil *obs.Trace recorder
-#     (BenchmarkTrainBatchBare vs BenchmarkTrainBatchNopRecorder).
+# Provenance (git SHA, capture time) is passed in explicitly — the harness
+# never reads them ambiently, so a re-run of this script is the only thing
+# that stamps a new identity on the artifact.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_pr6.json}
-raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+out=${1:-BENCH_pr7.json}
+baseline=${2:-}
 
-go test -run '^$' -bench . -benchmem -benchtime 200ms \
-	./internal/tensor/... ./internal/nn/... ./internal/fl/... \
-	./internal/obs/... ./internal/metrics/... ./internal/flnet/... \
-	./internal/pipeline/runtime/... | tee "$raw"
+compare=()
+if [ -n "$baseline" ]; then
+	compare=(--compare "$baseline" --tolerance 10%)
+fi
 
-awk '
-/^Benchmark/ {
-	name = $1
-	sub(/-[0-9]+$/, "", name)
-	# Benchmarks using b.SetBytes add an MB/s column and BenchmarkServerIngest
-	# reports pushes/s + bytes/round via ReportMetric, so locate values by
-	# their unit field instead of a fixed position.
-	for (i = 2; i < NF; i++) {
-		if ($(i + 1) == "ns/op") ns[name] = $i
-		if ($(i + 1) == "allocs/op") allocs[name] = $i
-		if ($(i + 1) == "pushes/s") pushes[name] = $i
-		if ($(i + 1) == "bytes/round") bytes[name] = $i
-	}
-	order[n++] = name
-}
-END {
-	printf "{\n"
-	printf "  \"generated_by\": \"scripts/bench.sh\",\n"
-	printf "  \"units\": {\"ns_op\": \"ns/op\", \"allocs_op\": \"allocs/op\", \"pushes_s\": \"pushes/s\", \"bytes_round\": \"server uplink bytes per push\"},\n"
-	printf "  \"notes\": \"Wire transport: compare BenchmarkServerIngest/gob-raw (legacy baseline) against binary-raw/-quant/-sparse-1k on the same 100k-weight model; acceptance is binary-sparse-1k at >=2x gob-raw pushes/s and >=4x fewer bytes/round. Self-healing hardening overhead: compare BenchmarkDistRound/bare vs BenchmarkDistRound/hardened (budget <2%% steady-state). Telemetry overhead: compare BenchmarkPushRaw vs BenchmarkPushRawWithTelemetry and see BenchmarkSamplerSample. Full earlier captures live in BENCH_pr1.json..BENCH_pr5.json.\",\n"
-	printf "  \"baseline_seed\": {\n"
-	printf "    \"BenchmarkMatMul64\": {\"ns_op\": 181628, \"allocs_op\": 4},\n"
-	printf "    \"BenchmarkMatMulAT64\": {\"ns_op\": 142610, \"allocs_op\": 4},\n"
-	printf "    \"BenchmarkMatMulBT64\": {\"ns_op\": 128890, \"allocs_op\": 4},\n"
-	printf "    \"BenchmarkTrainBatchMLP\": {\"ns_op\": 265842, \"allocs_op\": 55},\n"
-	printf "    \"BenchmarkConv2DForward\": {\"ns_op\": 1314464, \"allocs_op\": 13},\n"
-	printf "    \"BenchmarkConv2DBackward\": {\"ns_op\": 1709398, \"allocs_op\": 16},\n"
-	printf "    \"BenchmarkLocalTrain\": {\"ns_op\": 865325, \"allocs_op\": 502}\n"
-	printf "  },\n"
-	printf "  \"baseline_pr1\": {\n"
-	printf "    \"BenchmarkMatMul64\": {\"ns_op\": 153070, \"allocs_op\": 5},\n"
-	printf "    \"BenchmarkMatMulAT64\": {\"ns_op\": 153058, \"allocs_op\": 5},\n"
-	printf "    \"BenchmarkMatMulBT64\": {\"ns_op\": 108739, \"allocs_op\": 5},\n"
-	printf "    \"BenchmarkTrainBatchMLP\": {\"ns_op\": 325803, \"allocs_op\": 37},\n"
-	printf "    \"BenchmarkConv2DForward\": {\"ns_op\": 1032506, \"allocs_op\": 11},\n"
-	printf "    \"BenchmarkConv2DBackward\": {\"ns_op\": 1696018, \"allocs_op\": 3},\n"
-	printf "    \"BenchmarkLocalTrain\": {\"ns_op\": 802769, \"allocs_op\": 361}\n"
-	printf "  },\n"
-	printf "  \"current\": {\n"
-	for (i = 0; i < n; i++) {
-		name = order[i]
-		extra = ""
-		if (name in pushes) extra = extra ", \"pushes_s\": " pushes[name]
-		if (name in bytes) extra = extra ", \"bytes_round\": " bytes[name]
-		printf "    \"%s\": {\"ns_op\": %s, \"allocs_op\": %s%s}%s\n", \
-			name, ns[name], allocs[name], extra, (i < n - 1 ? "," : "")
-	}
-	printf "  }\n"
-	printf "}\n"
-}' "$raw" >"$out"
+go run ./cmd/ecofl bench \
+	--scenario examples/scenarios/smoke.json \
+	--scenario examples/scenarios/clean.json \
+	--scenario examples/scenarios/sparse.json \
+	--scenario examples/scenarios/dropout30.json \
+	--scenario examples/scenarios/failover.json \
+	--git-sha "$(git rev-parse --short HEAD)" \
+	--now "$(date +%s)" \
+	--out "$out" \
+	"${compare[@]}"
 
 echo "wrote $out"

@@ -25,3 +25,11 @@ go test ./...
 go test -race -short ./internal/tensor/... ./internal/fl/... \
 	./internal/metrics/... ./internal/obs/... ./internal/adaptive/... \
 	./internal/flnet/... ./internal/simnet/... ./internal/pipeline/runtime/...
+
+# Scenario-harness smoke: one tiny loopback federation through the real
+# transport, end to end — spec loading, the runner, report emission. Finishes
+# in well under a second; catches wiring breaks the unit tests can't.
+go run ./cmd/ecofl bench --scenario examples/scenarios/smoke.json \
+	--out /tmp/ecofl_ci_smoke.json >/dev/null
+rm -f /tmp/ecofl_ci_smoke.json
+echo "scenario smoke: ok"
