@@ -19,6 +19,7 @@ import (
 	"ecofl/internal/model"
 	"ecofl/internal/nn"
 	"ecofl/internal/obs"
+	"ecofl/internal/obs/journal"
 	"ecofl/internal/pipeline/runtime"
 )
 
@@ -47,6 +48,7 @@ func main() {
 	telemetryEvery := flag.Duration("telemetry-every", 5*time.Second, "background telemetry flush interval (0 = piggyback only)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-round-trip deadline (negative disables)")
 	retries := flag.Int("retries", 5, "round-trip retries over fresh connections before giving up (negative disables)")
+	journalCap := flag.Int("journal", 0, "flight-recorder events kept (0 disables); with --telemetry the lane ships to the server's /events timeline")
 	flag.Parse()
 
 	if *id < 0 || *id >= *of {
@@ -104,10 +106,15 @@ func main() {
 	// A server bounce or flaky link is survivable: round trips run under a
 	// deadline and retried pushes are deduplicated server-side, so --retries
 	// can be generous without risking a double-applied update.
+	var rec *journal.Recorder
+	if *journalCap > 0 {
+		rec = journal.New(*id, *journalCap)
+	}
 	client, err := flnet.DialOptions(*server, *id, flnet.Options{
 		Timeout:    *timeout,
 		MaxRetries: *retries,
 		Wire:       wm,
+		Journal:    rec,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -155,6 +162,10 @@ func main() {
 			*id, round, *rounds, loss/float64(n), version)
 	}
 	rt, rc := client.Stats()
+	if rec != nil {
+		log.Printf("ecofl-portal %d: flight recorder captured %d events (%d dropped)",
+			*id, rec.Len(), rec.Dropped())
+	}
 	fmt.Printf("portal %d done after %d rounds (global v%d, %d retries, %d reconnects)\n",
 		*id, *rounds, version, rt, rc)
 }

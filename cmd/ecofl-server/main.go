@@ -27,20 +27,24 @@ import (
 	"ecofl/internal/flnet"
 	"ecofl/internal/metrics"
 	"ecofl/internal/nn"
+	"ecofl/internal/obs/journal"
 )
 
 // metricsMux builds the observability endpoint: Prometheus exposition of the
 // server's own registry at /metrics and of the federated per-node views at
-// /fleet, the live dashboard at /dash with its /api/series JSON feed, a
-// liveness probe at /healthz, and the standard pprof handlers under
-// /debug/pprof/ (registered explicitly — the server deliberately does not
-// use http.DefaultServeMux).
+// /fleet, the live dashboard at /dash with its /api/series JSON feed, the
+// merged flight-recorder timeline at /events (filterable by node, round,
+// client and kind; empty unless --journal enables recording), a liveness
+// probe at /healthz, and the standard pprof handlers under /debug/pprof/
+// (registered explicitly — the server deliberately does not use
+// http.DefaultServeMux).
 func metricsMux(sp *metrics.Sampler, fleet *flnet.Fleet) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", metrics.Handler())
 	mux.Handle("/fleet", fleet.Registry().Handler())
 	mux.Handle("/dash", metrics.DashHandler())
 	mux.Handle("/api/series", sp.SeriesHandler())
+	mux.Handle("/events", fleet.Journal().Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -85,6 +89,7 @@ func main() {
 	fleetTrace := flag.String("fleet-trace", "", "write the merged fleet Chrome trace here on exit (optional)")
 	gobOnly := flag.Bool("gob-only", false, "disable the binary wire protocol (emulate a pre-binary server; portals fall back to gob)")
 	ingestBatch := flag.Int("ingest-batch", 0, "max pushes mixed per model-lock acquisition (0 = default 32, negative disables batching)")
+	journalCap := flag.Int("journal", 0, "flight-recorder events kept per node lane (0 disables); merged timeline served at /events on the metrics address")
 	flag.Parse()
 
 	proto := nn.NewMLP(rand.New(rand.NewSource(*modelSeed)), *dim, *hidden, *classes)
@@ -97,6 +102,11 @@ func main() {
 		log.Fatal(err)
 	}
 	opts := flnet.ServerOptions{Alpha: *alpha, GobOnly: *gobOnly, IngestBatch: *ingestBatch}
+	if *journalCap > 0 {
+		// The server takes lane -1, matching its fleet-trace pid; journaling
+		// portals ship their own lanes in over the telemetry piggyback.
+		opts.Journal = journal.NewFleet(*journalCap, journal.New(-1, *journalCap))
+	}
 	if *checkpoint != "" {
 		ck, err := flnet.LoadCheckpoint(*checkpoint)
 		switch {
@@ -187,6 +197,10 @@ serveLoop:
 	}
 	w, version := server.Snapshot()
 	proto.SetFlatWeights(w)
+	if opts.Journal != nil {
+		log.Printf("ecofl-server: flight recorder holds %d events across %d node lanes",
+			len(opts.Journal.Events()), opts.Journal.Nodes())
+	}
 	fmt.Printf("final: version %d, pushes %d, deduped %d, test accuracy %.2f%%\n",
 		version, server.Pushes(), server.Deduped(), proto.Accuracy(tx, ty)*100)
 	if *saveModel != "" {

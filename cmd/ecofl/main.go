@@ -24,6 +24,7 @@ import (
 	"ecofl/internal/experiments"
 	"ecofl/internal/metrics"
 	"ecofl/internal/model"
+	"ecofl/internal/obs/journal"
 	"ecofl/internal/partition"
 	"ecofl/internal/pipeline"
 	"ecofl/internal/plot"
@@ -290,6 +291,7 @@ func cmdPipeline(args []string) error {
 	failRound := fs.Int("fail-round", 3, "failover: round at which the device dies")
 	rounds := fs.Int("rounds", 8, "failover: sync-rounds to train")
 	seed := fs.Int64("seed", 1, "failover: experiment seed")
+	journalTail := fs.Int("journal", 0, "failover: print the last N flight-recorder events after the run (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -379,11 +381,24 @@ func cmdPipeline(args []string) error {
 			ChaosProb:      *chaosProb,
 			MicroBatchSize: 6,
 		}
+		if *journalTail > 0 {
+			cfg.Journal = journal.New(0, 4096)
+		}
 		rep, err := cfg.Run()
 		if err != nil {
+			// A failed heal is exactly when the forensic record matters most:
+			// dump the tail before surfacing the error.
+			if cfg.Journal != nil {
+				fmt.Fprintf(os.Stderr, "flight recorder (last %d events):\n%s",
+					*journalTail, journal.Timeline(journal.Tail(cfg.Journal.Events(), *journalTail)))
+			}
 			return err
 		}
 		experiments.PrintFailover(os.Stdout, rep)
+		if cfg.Journal != nil {
+			fmt.Printf("flight recorder (last %d of %d events):\n%s",
+				*journalTail, cfg.Journal.Len(), journal.Timeline(journal.Tail(cfg.Journal.Events(), *journalTail)))
+		}
 		return nil
 	default:
 		return fmt.Errorf("unknown pipeline experiment %q", *exp)

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -33,6 +34,7 @@ import (
 	"ecofl/internal/model"
 	"ecofl/internal/nn"
 	"ecofl/internal/obs"
+	"ecofl/internal/obs/journal"
 	"ecofl/internal/partition"
 	"ecofl/internal/pipeline"
 	"ecofl/internal/pipeline/runtime"
@@ -87,6 +89,12 @@ type Config struct {
 	JitterSeed              int64
 	// Trace, when non-nil, records abort/migration spans.
 	Trace *obs.Trace
+	// Journal, when non-nil, is the flight recorder: every heal-path
+	// decision (kill, detect, abort, repartition, segment shipping, resume,
+	// round commit) lands in it as a correlated event, and each chaos link
+	// is attached so injected faults log their cause into the same
+	// timeline. Nil costs nothing (nop recorder discipline).
+	Journal *journal.Recorder
 }
 
 // Stats counts what the executor did; read them via Executor.Stats.
@@ -244,7 +252,18 @@ func (e *Executor) installPlanLocked(stages []pipeline.Stage) error {
 func (e *Executor) dialer() runtime.Dialer {
 	base := e.cfg.Links
 	if e.cfg.Chaos != nil {
-		base = runtime.ChaosLinks(base, e.cfg.Chaos)
+		chaos := e.cfg.Chaos
+		if e.cfg.Journal != nil {
+			// Attach the flight recorder to every chaos link so injected
+			// faults log their cause alongside the heal steps they trigger.
+			orig := chaos
+			chaos = func(i int) *simnet.Chaos {
+				c := orig(i)
+				c.SetJournal(e.cfg.Journal, i)
+				return c
+			}
+		}
+		base = runtime.ChaosLinks(base, chaos)
 	}
 	return func(i int) (net.Conn, net.Conn, error) {
 		up, down, err := base(i)
@@ -300,6 +319,7 @@ func (e *Executor) KillDevice(i int) {
 		return
 	}
 	e.alive[i] = false
+	e.cfg.Journal.Record("exec.kill", e.round, i)
 	// Sever the dead stage's links mid-round, if it is part of the plan.
 	for s, st := range e.stages {
 		if e.devIndex(st.Device) == i {
@@ -376,6 +396,7 @@ func (e *Executor) TrainRound(x *tensor.Tensor, labels []int, opt *nn.SGD) (floa
 		e.mu.Lock()
 	}
 	pipe := e.pipe
+	round := e.round
 	e.mu.Unlock()
 
 	for attempt := 0; ; attempt++ {
@@ -386,26 +407,44 @@ func (e *Executor) TrainRound(x *tensor.Tensor, labels []int, opt *nn.SGD) (floa
 			e.round++
 			e.stats.Rounds++
 			e.mu.Unlock()
+			e.cfg.Journal.Record("exec.round-commit", round, journal.None,
+				"loss", strconv.FormatFloat(loss, 'g', 6, 64), "attempt", strconv.Itoa(attempt))
 			e.observe(x.Rows())
 			return loss, nil
 		}
 		detect := time.Since(start)
 		detectSeconds.Observe(detect.Seconds())
+		e.cfg.Journal.Record("exec.detect", round, journal.None,
+			"err", journalErrText(err), "attempt", strconv.Itoa(attempt))
 		e.mu.Lock()
 		e.stats.Aborts++
 		e.stats.LastDetectLatency = detect
 		e.mu.Unlock()
+		e.cfg.Journal.Record("exec.abort", round, journal.None,
+			"detect_ms", strconv.FormatInt(detect.Milliseconds(), 10))
 		if e.cfg.MaxHeals < 0 || attempt >= e.cfg.MaxHeals {
+			e.cfg.Journal.Record("exec.unrecoverable", round, journal.None,
+				"attempts", strconv.Itoa(attempt))
 			return 0, fmt.Errorf("executor: round %d unrecoverable after %d heal attempts: %w", e.round, attempt, err)
 		}
 		time.Sleep(flnet.BackoffDelay(attempt+1, e.cfg.BackoffBase, e.cfg.BackoffMax, e.rng))
 		if herr := e.heal(); herr != nil {
 			return 0, herr
 		}
+		e.cfg.Journal.Record("exec.resume", round, journal.None, "attempt", strconv.Itoa(attempt+1))
 		e.mu.Lock()
 		pipe = e.pipe
 		e.mu.Unlock()
 	}
+}
+
+// journalErrText keeps journaled error strings bounded.
+func journalErrText(err error) string {
+	s := err.Error()
+	if len(s) > 120 {
+		s = s[:117] + "..."
+	}
+	return s
 }
 
 // heal recovers from an aborted round. If the current plan includes a dead
@@ -451,7 +490,10 @@ func (e *Executor) migrateTo(devs []*device.Device) error {
 	}
 	e.mu.Lock()
 	oldStages := append([]pipeline.Stage(nil), e.stages...)
+	round := e.round
 	e.mu.Unlock()
+	e.cfg.Journal.Record("exec.repartition", round, journal.None,
+		"stages", strconv.Itoa(len(plan.Stages)), "devices", strconv.Itoa(len(devs)))
 
 	moved, err := movedRanges(e.spec, oldStages, plan.Stages)
 	if err != nil {
@@ -459,7 +501,7 @@ func (e *Executor) migrateTo(devs []*device.Device) error {
 	}
 	var shipped int64
 	if len(moved) > 0 {
-		if shipped, err = e.shipSegments(moved); err != nil {
+		if shipped, err = e.shipSegments(moved, round); err != nil {
 			return fmt.Errorf("executor: weight migration: %w", err)
 		}
 	}
@@ -533,7 +575,7 @@ type segmentMsg struct {
 // serializes the segment's weights from the last committed round boundary,
 // sends them over a fresh connection, and the receiving side validates and
 // installs them. Returns the shipped byte volume.
-func (e *Executor) shipSegments(moved []movedRange) (int64, error) {
+func (e *Executor) shipSegments(moved []movedRange, round int) (int64, error) {
 	up, down, err := e.cfg.Links(0)
 	if err != nil {
 		return 0, err
@@ -570,6 +612,9 @@ func (e *Executor) shipSegments(moved []movedRange) (int64, error) {
 		}
 		seg.SetFlatWeights(msg.Data)
 		shipped += int64(len(msg.Data) * 8)
+		e.cfg.Journal.Record("exec.ship-segment", round, journal.None,
+			"from", strconv.Itoa(msg.From), "to", strconv.Itoa(msg.To),
+			"bytes", strconv.Itoa(len(msg.Data)*8))
 	}
 	return shipped, <-sendErr
 }

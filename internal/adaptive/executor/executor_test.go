@@ -10,6 +10,8 @@ import (
 	"ecofl/internal/device"
 	"ecofl/internal/model"
 	"ecofl/internal/nn"
+	"ecofl/internal/obs/journal"
+	"ecofl/internal/obs/journal/journaltest"
 	"ecofl/internal/obs/leakcheck"
 	"ecofl/internal/partition"
 	"ecofl/internal/pipeline/runtime"
@@ -74,12 +76,15 @@ func TestKillFailoverBitIdentical(t *testing.T) {
 	x, labels := makeData(rng, 24, 12, 4)
 	baseline := leakcheck.Baseline()
 
+	rec := journal.New(0, 512)
+	journaltest.DumpOnFailure(t, 80, rec)
 	tr := model.NewTrainableMLP(rand.New(rand.NewSource(seed)), "ref", 12, []int{14, 12, 10}, 4)
 	exec, err := New(Config{
 		Trainable:      tr,
 		Devices:        fleet(),
 		MicroBatchSize: mbs,
 		LinkOptions:    runtime.LinkOptions{RecvTimeout: 2 * time.Second, DialRetries: 2},
+		Journal:        rec,
 	})
 	if err != nil {
 		t.Fatalf("New: %v", err)
@@ -164,6 +169,8 @@ func TestChaosSoak(t *testing.T) {
 		mode := mode
 		t.Run(mode.String(), func(t *testing.T) {
 			t.Parallel()
+			rec := journal.New(0, 2048)
+			journaltest.DumpOnFailure(t, 120, rec)
 			tr := model.NewTrainableMLP(rand.New(rand.NewSource(seed)), "ref", 12, []int{14, 12, 10}, 4)
 			exec, err := New(Config{
 				Trainable:      tr,
@@ -171,6 +178,7 @@ func TestChaosSoak(t *testing.T) {
 				MicroBatchSize: mbs,
 				Chaos:          chaosPerLink(mode, 1000+int64(mode), 0.03),
 				MaxHeals:       14,
+				Journal:        rec,
 				LinkOptions: runtime.LinkOptions{
 					SendTimeout: 300 * time.Millisecond,
 					RecvTimeout: 250 * time.Millisecond,
@@ -197,6 +205,23 @@ func TestChaosSoak(t *testing.T) {
 			if !weightsEqual(exec.Network().FlatWeights(), want) {
 				t.Fatalf("under %s: recovered model diverged from fault-free run", mode)
 			}
+			// Forensic record: the injected faults logged their cause into
+			// the same timeline as the heal steps they triggered, and the
+			// kill's heal sequence is causally ordered.
+			evs := rec.Events()
+			injects := 0
+			for _, e := range evs {
+				if e.Kind == "chaos.inject" {
+					if e.Attrs["mode"] != mode.String() {
+						t.Fatalf("chaos.inject wrong mode attr: %+v", e)
+					}
+					injects++
+				}
+			}
+			if injects == 0 {
+				t.Fatalf("under %s: no chaos.inject events in journal:\n%s", mode, journal.Timeline(evs))
+			}
+			assertHealOrder(t, evs)
 		})
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"ecofl/internal/device"
 	"ecofl/internal/model"
 	"ecofl/internal/nn"
+	"ecofl/internal/obs/journal"
 	"ecofl/internal/pipeline"
 	"ecofl/internal/pipeline/runtime"
 	"ecofl/internal/simnet"
@@ -33,6 +34,9 @@ type LiveFailover struct {
 	// (FaultNone disables).
 	Chaos     simnet.FaultMode
 	ChaosProb float64
+	// Journal, when non-nil, is handed to the executor as its flight
+	// recorder: heal steps and injected chaos faults land in it.
+	Journal *journal.Recorder
 }
 
 // FailoverReport is what the live run measured.
@@ -91,6 +95,7 @@ func (c *LiveFailover) Run() (*FailoverReport, error) {
 		MicroBatchSize: c.MicroBatchSize,
 		Chaos:          chaos,
 		MaxHeals:       14,
+		Journal:        c.Journal,
 		LinkOptions: runtime.LinkOptions{
 			SendTimeout: 300 * time.Millisecond,
 			RecvTimeout: 250 * time.Millisecond,

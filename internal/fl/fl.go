@@ -17,6 +17,7 @@ import (
 	"ecofl/internal/metrics"
 	"ecofl/internal/nn"
 	"ecofl/internal/obs"
+	"ecofl/internal/obs/journal"
 	"ecofl/internal/stats"
 	"ecofl/internal/tensor"
 )
@@ -141,6 +142,13 @@ type Config struct {
 	// simulation state — it never touches the rng stream or the math, so
 	// curves are byte-identical with or without a trace attached.
 	Trace *obs.Trace
+	// Journal, when non-nil, is the flight recorder for round lifecycle
+	// decisions: round start/commit, quorum burns, dropout casualties and
+	// straggler evictions. Use a clockless recorder (journal.NewClock with a
+	// nil clock): strategies stamp events with the run's virtual time, so
+	// the journal timeline aligns with the Trace spans. Same read-only
+	// discipline as Trace — curves are byte-identical with it on or off.
+	Journal *journal.Recorder
 }
 
 // flPID is the trace process lane shared by all FL strategies.
@@ -294,6 +302,7 @@ func (p *Population) EvictStragglers(ids []int) int {
 	for _, id := range ids {
 		if c, ok := byID[id]; ok && !c.Dropped {
 			c.Dropped = true
+			p.Config.Journal.Record("fl.evict", journal.None, id)
 			evicted++
 		}
 	}

@@ -1,0 +1,124 @@
+package fl
+
+// Flight-recorder coverage for the simulation side: strategies stamp round
+// lifecycle events with the run's virtual clock, the quorum cut logs its
+// casualties, and attaching a journal never perturbs the training curves.
+
+import (
+	"testing"
+
+	"ecofl/internal/obs/journal"
+)
+
+// TestJournalFedAvgRoundEvents: a dropout+quorum FedAvg run journals round
+// starts and commits on virtual time, with the cut's casualties in between.
+func TestJournalFedAvgRoundEvents(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Duration = 300
+	cfg.DropoutProb = 0.25
+	cfg.Quorum = 0.5
+	rec := journal.NewClock(0, 1024, nil) // clockless: virtual-time stamps only
+	cfg.Journal = rec
+
+	r := RunFedAvg(testPopulation(11, 16, cfg))
+	if r.Dropouts == 0 {
+		t.Fatal("test premise: run must see dropouts")
+	}
+
+	evs := rec.Events()
+	counts := journal.CountByKind(evs)
+	if counts["fl.round-start"] != r.Rounds {
+		t.Fatalf("%d fl.round-start events, want %d rounds:\n%s",
+			counts["fl.round-start"], r.Rounds, journal.Timeline(evs))
+	}
+	if counts["fl.round-commit"]+r.QuorumFailures != r.Rounds {
+		t.Fatalf("commits %d + failures %d != rounds %d",
+			counts["fl.round-commit"], r.QuorumFailures, r.Rounds)
+	}
+	var dropoutTotal int
+	for _, e := range evs {
+		if e.Kind == "fl.dropout" {
+			dropoutTotal++
+		}
+	}
+	if dropoutTotal == 0 {
+		t.Fatal("no fl.dropout events despite casualties")
+	}
+	// Virtual-time stamps: monotone (events are recorded in simulation
+	// order) and bounded by the horizon plus one round.
+	for i, e := range evs {
+		if i > 0 && e.TS < evs[i-1].TS {
+			t.Fatalf("virtual timestamps regress at %d:\n%s", i, journal.Timeline(evs))
+		}
+	}
+	// Each round's start precedes its commit, correlated by Round id.
+	startAt := map[int]float64{}
+	for _, e := range evs {
+		switch e.Kind {
+		case "fl.round-start":
+			startAt[e.Round] = e.TS
+		case "fl.round-commit":
+			if s, ok := startAt[e.Round]; !ok || e.TS < s {
+				t.Fatalf("commit of round %d not after its start: %+v", e.Round, e)
+			}
+		}
+	}
+}
+
+// TestJournalDoesNotPerturbCurves: the journal reads simulation state only,
+// so a journaled run is bit-identical to a bare one.
+func TestJournalDoesNotPerturbCurves(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Duration = 300
+	cfg.DropoutProb = 0.2
+	cfg.Quorum = 0.5
+	bare := RunFedAvg(testPopulation(11, 16, cfg))
+	cfg.Journal = journal.NewClock(0, 256, nil)
+	journaled := RunFedAvg(testPopulation(11, 16, cfg))
+	if bare.FinalAccuracy != journaled.FinalAccuracy || bare.Rounds != journaled.Rounds ||
+		bare.Dropouts != journaled.Dropouts {
+		t.Fatal("attaching a journal changed the run")
+	}
+}
+
+// TestJournalHierarchicalAndEvict: group rounds carry their group id, quorum
+// burns land when stragglers are cut, and evictions are journaled.
+func TestJournalHierarchicalAndEvict(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Duration = 400
+	cfg.DropoutProb = 0.25
+	cfg.Quorum = 0.6
+	rec := journal.NewClock(0, 2048, nil)
+	cfg.Journal = rec
+	pop := testPopulation(17, 24, cfg)
+	if RunHierarchical(pop, HierOptions{Grouping: GroupEcoFL}).Rounds == 0 {
+		t.Fatal("no rounds ran")
+	}
+
+	evs := rec.Events()
+	counts := journal.CountByKind(evs)
+	if counts["fl.round-commit"] == 0 || counts["fl.group-sync"] == 0 {
+		t.Fatalf("missing hierarchical lifecycle events: %v", counts)
+	}
+	for _, e := range evs {
+		if e.Kind == "fl.round-commit" && e.Attrs["group"] == "" {
+			t.Fatalf("group round commit without group attr: %+v", e)
+		}
+	}
+
+	if pop.EvictStragglers([]int{1, 3}) != 2 {
+		t.Fatal("eviction setup failed")
+	}
+	evictions := 0
+	for _, e := range rec.Events() {
+		if e.Kind == "fl.evict" {
+			if e.Client != 1 && e.Client != 3 {
+				t.Fatalf("fl.evict wrong client: %+v", e)
+			}
+			evictions++
+		}
+	}
+	if evictions != 2 {
+		t.Fatalf("%d fl.evict events, want 2", evictions)
+	}
+}

@@ -12,6 +12,9 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
+
+	"ecofl/internal/obs/journal"
 )
 
 // roundCut is the outcome of applying dropout and the quorum rule to one
@@ -102,6 +105,22 @@ func cutRound(rng *rand.Rand, cfg Config, sel []*Client) roundCut {
 	cut.discarded = len(survived) - need
 	cut.roundTime = byLat[need-1].Latency()
 	return cut
+}
+
+// journalCut records one cut's casualties into the flight recorder at the
+// virtual time the round resolves (rec nil is a nop). round is the strategy's
+// aggregation-event counter at the cut, the correlation id shared with the
+// round-start/commit events around it.
+func journalCut(rec *journal.Recorder, t float64, round int, cut roundCut) {
+	if cut.dropouts > 0 {
+		rec.RecordAt(t, "fl.dropout", round, journal.None, "count", strconv.Itoa(cut.dropouts))
+	}
+	if cut.discarded > 0 {
+		rec.RecordAt(t, "fl.quorum-burn", round, journal.None, "discarded", strconv.Itoa(cut.discarded))
+	}
+	if cut.failed {
+		rec.RecordAt(t, "fl.quorum-fail", round, journal.None)
+	}
 }
 
 // tally folds one cut's casualty counts into the result and its metrics.

@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"ecofl/internal/metrics"
+	"ecofl/internal/obs/journal"
 	"ecofl/internal/sim"
 )
 
@@ -162,9 +163,12 @@ func RunFedAvg(pop *Population) *RunResult {
 		if len(sel) == 0 {
 			break
 		}
+		cfg.Journal.RecordAt(t, "fl.round-start", res.Rounds, journal.None,
+			"selected", strconv.Itoa(len(sel)))
 		cut := cutRound(rng, cfg, sel)
 		res.tally(cut)
 		roundTime := cut.roundTime
+		journalCut(cfg.Journal, t+roundTime, res.Rounds, cut)
 		if !cut.failed {
 			weights := make([]float64, len(cut.committee))
 			for i, c := range cut.committee {
@@ -178,6 +182,10 @@ func RunFedAvg(pop *Population) *RunResult {
 		if tr != nil {
 			tr.Span(flPID, 0, "round", "fl", t, t+roundTime,
 				map[string]float64{"clients": float64(len(cut.committee))})
+		}
+		if !cut.failed {
+			cfg.Journal.RecordAt(t+roundTime, "fl.round-commit", res.Rounds, journal.None,
+				"clients", strconv.Itoa(len(cut.committee)))
 		}
 		t += roundTime
 		res.Rounds++
@@ -246,6 +254,8 @@ func RunFedAsync(pop *Population) *RunResult {
 				tr.Span(flPID, 0, "update", "fl", dispatched, finish,
 					map[string]float64{"client": float64(c.ID), "staleness": stale})
 			}
+			cfg.Journal.RecordAt(finish, "fl.round-commit", version, c.ID,
+				"staleness", strconv.FormatFloat(stale, 'g', -1, 64))
 			dyn.advance(rng, pop, eng.Now())
 			if eng.Now()-lastEval >= cfg.EvalInterval {
 				res.record(eng.Now(), pop.Evaluate(w))
@@ -383,11 +393,15 @@ func RunHierarchical(pop *Population, opts HierOptions) *RunResult {
 			eng.Schedule(cfg.MeanDelay, func() { scheduleRound(g) })
 			return
 		}
+		round := res.Rounds
+		cfg.Journal.RecordAt(start, "fl.round-start", round, journal.None,
+			"group", strconv.Itoa(g.ID), "selected", strconv.Itoa(len(sel)))
 		cut := cutRound(rng, cfg, sel)
 		res.tally(cut)
 		roundTime := cut.roundTime
 		eng.Schedule(roundTime, func() {
 			now := eng.Now()
+			journalCut(cfg.Journal, now, round, cut)
 			if cut.failed {
 				// The group waited out the round window without reaching its
 				// quorum: no aggregation, try again with a fresh selection.
@@ -418,6 +432,8 @@ func RunHierarchical(pop *Population, opts HierOptions) *RunResult {
 				tr.Span(flPID, g.ID, "group-round", "fl", start, now,
 					map[string]float64{"clients": float64(len(cut.committee))})
 			}
+			cfg.Journal.RecordAt(now, "fl.round-commit", round, journal.None,
+				"group", strconv.Itoa(g.ID), "clients", strconv.Itoa(len(cut.committee)))
 			roundsSinceSync[g]++
 			if roundsSinceSync[g] >= cfg.GroupSyncEvery {
 				// Push the group model to the async aggregator and pull
@@ -429,6 +445,8 @@ func RunHierarchical(pop *Population, opts HierOptions) *RunResult {
 				}
 				AsyncMix(w, groupW, alpha)
 				copy(groupModel[g], w)
+				cfg.Journal.RecordAt(now, "fl.group-sync", round, journal.None,
+					"group", strconv.Itoa(g.ID), "alpha", strconv.FormatFloat(alpha, 'g', 4, 64))
 			}
 
 			if dyn.advance(rng, pop, now) && opts.DynamicRegroup {

@@ -13,6 +13,8 @@ import (
 	"testing"
 	"time"
 
+	"ecofl/internal/obs/journal"
+	"ecofl/internal/obs/journal/journaltest"
 	"ecofl/internal/simnet"
 )
 
@@ -162,11 +164,24 @@ func TestChaosSoak(t *testing.T) {
 		plan := plan
 		t.Run(plan.Mode.String(), func(t *testing.T) {
 			s := startServer(t, soakInit(), 0.5)
-			h := newSoakHarness(t, s, func(id int) Dialer {
+			// Flight recorders: one lane per client, with the chaos state
+			// logging each injected fault into the lane it hits. A failing
+			// soak dumps the merged timeline — the forensic record of which
+			// fault the transport failed to absorb.
+			recs := make([]*journal.Recorder, soakClients)
+			srcs := make([]journaltest.Source, soakClients)
+			for id := range recs {
+				recs[id] = journal.New(id, 512)
+				srcs[id] = recs[id]
+			}
+			journaltest.DumpOnFailure(t, 100, srcs...)
+			h := newSoakHarnessOpts(t, s, func(id int) Dialer {
 				p := plan
 				p.Seed = int64(100*int(plan.Mode) + id + 1)
-				return Dialer(simnet.NewChaos(p).Dialer(nil))
-			})
+				c := simnet.NewChaos(p)
+				c.SetJournal(recs[id], id)
+				return Dialer(c.Dialer(nil))
+			}, func(id int, o *Options) { o.Journal = recs[id] })
 			for i := 0; i < rounds; i++ {
 				h.runRound()
 			}

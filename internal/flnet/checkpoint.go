@@ -15,10 +15,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
 	"ecofl/internal/metrics"
+	"ecofl/internal/obs/journal"
 )
 
 // checkpointMagic identifies an Eco-FL server checkpoint on disk;
@@ -94,6 +96,8 @@ func (s *Server) SaveCheckpoint(path string) error {
 	}
 	srvCkptWrites.Inc()
 	srvCkptVersion.Set(float64(ck.Version))
+	s.jrec().Record("checkpoint.write", ck.Version, journal.None,
+		"pushes", strconv.Itoa(ck.Pushes))
 	return nil
 }
 

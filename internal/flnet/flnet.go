@@ -32,12 +32,14 @@ import (
 	"math"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ecofl/internal/fl"
 	"ecofl/internal/flnet/wire"
+	"ecofl/internal/obs/journal"
 	"ecofl/internal/tensor"
 )
 
@@ -109,6 +111,12 @@ type ServerOptions struct {
 	// lock acquisition. 0 means 32; negative disables the mixer entirely
 	// (every push takes the model lock itself, the pre-PR6 behaviour).
 	IngestBatch int
+	// Journal, when non-nil, is the server's flight recorder: its local lane
+	// (Journal.Local, conventionally node −1 like the fleet-trace server
+	// lane) records push applies/dedups/rejects and checkpoint events, and
+	// client journals arriving piggybacked on telemetry are merged into it
+	// on the server clock — the /events timeline. nil disables at ~0 cost.
+	Journal *journal.Fleet
 }
 
 // DefaultTimeout is the default per-round-trip deadline on both ends.
@@ -197,6 +205,7 @@ func NewServerOpts(ln net.Listener, init []float64, opts ServerOptions) (*Server
 		lastSeq:      make(map[int]uint64),
 		lastAck:      make(map[int]reply),
 	}
+	s.fleet.journal = opts.Journal
 	if ck := opts.Resume; ck != nil {
 		if len(init) != 0 && len(ck.Weights) != len(init) {
 			return nil, fmt.Errorf("flnet: checkpoint has %d weights, model has %d", len(ck.Weights), len(init))
@@ -208,6 +217,8 @@ func NewServerOpts(ln net.Listener, init []float64, opts ServerOptions) (*Server
 			s.lastSeq[id] = seq
 		}
 		srvCkptResumes.Inc()
+		s.jrec().Record("checkpoint.resume", ck.Version, journal.None,
+			"pushes", strconv.Itoa(ck.Pushes), "clients", strconv.Itoa(len(ck.LastSeq)))
 	}
 	if opts.IngestBatch > 0 {
 		s.ingestCh = make(chan *ingestJob, 4*opts.IngestBatch)
@@ -315,6 +326,10 @@ func (s *Server) Snapshot() ([]float64, int) {
 // Fleet returns the server's telemetry aggregator: node-labeled metric
 // views, the merged fleet trace, and the straggler detector.
 func (s *Server) Fleet() *Fleet { return s.fleet }
+
+// jrec is the server-lane flight recorder (nil when journaling is off; every
+// Record through it is then a nil-check and return).
+func (s *Server) jrec() *journal.Recorder { return s.opts.Journal.Local() }
 
 // Pushes returns the number of accepted updates.
 func (s *Server) Pushes() int {
@@ -470,6 +485,8 @@ func (s *Server) applyPushLocked(req *request) (rep reply, applied bool) {
 	if req.Seq > 0 && req.Seq <= s.lastSeq[req.ClientID] {
 		s.deduped++
 		srvDedupedPushes.Inc()
+		s.jrec().Record("push.dedup-drop", s.version, req.ClientID,
+			"seq", strconv.FormatUint(req.Seq, 10))
 		if req.Seq == s.lastSeq[req.ClientID] {
 			if ack, ok := s.lastAck[req.ClientID]; ok {
 				return ack, false
@@ -481,14 +498,27 @@ func (s *Server) applyPushLocked(req *request) (rep reply, applied bool) {
 	}
 	if err := s.applyLocked(req); err != nil {
 		srvPushErrors.Inc()
+		s.jrec().Record("push.reject", s.version, req.ClientID, "err", journalErr(err))
 		return reply{Err: err.Error()}, false
 	}
+	s.jrec().Record("push.apply", s.version, req.ClientID,
+		"seq", strconv.FormatUint(req.Seq, 10))
 	rep = reply{Weights: append([]float64(nil), s.weights...), Version: s.version}
 	if req.Seq > 0 {
 		s.lastSeq[req.ClientID] = req.Seq
 		s.lastAck[req.ClientID] = rep
 	}
 	return rep, true
+}
+
+// journalErr truncates an error for use as a journal attr: the timeline
+// wants the cause, not a page of wrapped context.
+func journalErr(err error) string {
+	msg := err.Error()
+	if len(msg) > 120 {
+		msg = msg[:117] + "..."
+	}
+	return msg
 }
 
 // sparseBaseMismatch prefixes the rejection of a sparse push whose
@@ -564,6 +594,8 @@ func (s *Server) sparseRefLocked(req *request) ([]float64, error) {
 		if ok {
 			have = ack.Version
 		}
+		s.jrec().Record("sparse.base-mismatch", s.version, req.ClientID,
+			"base", strconv.Itoa(req.BaseVersion), "have", strconv.Itoa(have))
 		return nil, fmt.Errorf("%s: push built on v%d, server ack window holds v%d", sparseBaseMismatch, req.BaseVersion, have)
 	}
 	return ack.Weights, nil
@@ -685,6 +717,8 @@ func (c *Client) roundTrip(req *request) (*reply, error) {
 			}
 			c.retries.Add(1)
 			cliRetries.Inc()
+			c.opts.Journal.Record("net.retry", journal.None, c.ID,
+				"attempt", strconv.Itoa(attempt), "kind", req.Kind, "err", journalErr(lastErr))
 			if !c.backoff(attempt) {
 				return nil, ErrClosed
 			}
@@ -702,6 +736,8 @@ func (c *Client) roundTrip(req *request) (*reply, error) {
 			}
 			if req.Kind == "push" && rep.Weights != nil {
 				c.noteAck(rep)
+				c.opts.Journal.Record("push.ack", rep.Version, c.ID,
+					"seq", strconv.FormatUint(req.Seq, 10))
 			}
 			return rep, nil
 		}

@@ -1,0 +1,254 @@
+package flnet
+
+// Flight-recorder integration: client and server journals record the
+// transport's fault-path decisions, client journals piggyback on telemetry
+// into the server's fleet journal, and the merged /events timeline is
+// causally ordered across nodes. The benchmark guards the push hot path:
+// journal nil must cost ~nothing, recording must stay within a few percent.
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ecofl/internal/metrics"
+	"ecofl/internal/obs/journal"
+)
+
+func journalServer(t *testing.T, init []float64) (*Server, *journal.Fleet) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj := journal.NewFleet(256, journal.New(-1, 256))
+	s, err := NewServerOpts(ln, init, ServerOptions{Alpha: 0.5, Journal: fj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, fj
+}
+
+// TestJournalMergedTimeline drives pushes from a journaled client against a
+// journaled server and asserts the fleet journal holds both lanes, merged in
+// causal order, with correlated seq attrs.
+func TestJournalMergedTimeline(t *testing.T) {
+	s, fj := journalServer(t, []float64{0, 0, 0})
+	cliJ := journal.New(7, 256)
+	c, err := DialOptions(s.Addr(), 7, Options{Journal: cliJ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	stop := c.EnableTelemetry(metrics.NewRegistry(), nil, "portal", 0)
+	defer stop()
+
+	v := 0
+	for i := 0; i < 3; i++ {
+		if _, v, err = c.Push([]float64{1, 2, 3}, 1, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The snapshot attached to push N is built before N completes, so the
+	// ack event of the last push is still local; flush ships the tail.
+	if err := c.FlushTelemetry(); err != nil {
+		t.Fatal(err)
+	}
+
+	if s.Fleet().Journal() != fj {
+		t.Fatal("Fleet.Journal accessor does not return the configured fleet journal")
+	}
+	evs := fj.Events()
+	applies, acks := 0, 0
+	for _, e := range evs {
+		switch e.Kind {
+		case "push.apply":
+			if e.Node != -1 || e.Client != 7 {
+				t.Fatalf("push.apply wrong lanes: %+v", e)
+			}
+			if e.Attrs["seq"] == "" {
+				t.Fatalf("push.apply missing seq correlation: %+v", e)
+			}
+			applies++
+		case "push.ack":
+			if e.Node != 7 || e.Client != 7 {
+				t.Fatalf("push.ack wrong node: %+v", e)
+			}
+			acks++
+		}
+	}
+	if applies != 3 {
+		t.Fatalf("fleet journal has %d push.apply events, want 3:\n%s", applies, journal.Timeline(evs))
+	}
+	if acks != 3 {
+		t.Fatalf("fleet journal has %d imported push.ack events, want 3:\n%s", acks, journal.Timeline(evs))
+	}
+	// Causal order: each apply (server clock) precedes its ack's import
+	// position only if offsets are sane; at minimum the timeline is sorted.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS < evs[i-1].TS {
+			t.Fatalf("fleet timeline not sorted at %d:\n%s", i, journal.Timeline(evs))
+		}
+	}
+}
+
+// TestJournalDedupDropEvent replays a push Seq and asserts the server lane
+// records the dedup decision.
+func TestJournalDedupDropEvent(t *testing.T) {
+	s, fj := journalServer(t, []float64{0})
+	c, err := Dial(s.Addr(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	req := &request{Kind: "push", ClientID: 3, Seq: 5, Weights: []float64{10}, NumSamples: 1}
+	if _, err := c.roundTrip(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.roundTrip(&request{Kind: "push", ClientID: 3, Seq: 5, Weights: []float64{10}, NumSamples: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var gotApply, gotDrop bool
+	for _, e := range fj.Events() {
+		switch e.Kind {
+		case "push.apply":
+			gotApply = true
+		case "push.dedup-drop":
+			if e.Attrs["seq"] != "5" || e.Client != 3 {
+				t.Fatalf("dedup-drop event uncorrelated: %+v", e)
+			}
+			gotDrop = true
+		}
+	}
+	if !gotApply || !gotDrop {
+		t.Fatalf("apply=%v drop=%v, want both:\n%s", gotApply, gotDrop, journal.Timeline(fj.Events()))
+	}
+}
+
+// TestJournalSparseResyncEvent: the first PushDelta has no reference and
+// must fall back dense, recording the resync with its reason.
+func TestJournalSparseResyncEvent(t *testing.T) {
+	s, _ := journalServer(t, make([]float64, 4))
+	cliJ := journal.New(2, 64)
+	c, err := DialOptions(s.Addr(), 2, Options{Journal: cliJ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.PushDelta([]float64{1, 0, 0, 2}, 1, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	var got bool
+	for _, e := range cliJ.Events() {
+		if e.Kind == "sparse.resync" && e.Attrs["reason"] == "no-ref" {
+			got = true
+		}
+	}
+	if !got {
+		t.Fatalf("no sparse.resync(no-ref) event:\n%s", journal.Timeline(cliJ.Events()))
+	}
+}
+
+// TestJournalCheckpointEvents: a checkpoint write and a resumed server both
+// land in the server lane.
+func TestJournalCheckpointEvents(t *testing.T) {
+	s, fj := journalServer(t, []float64{0})
+	c, err := Dial(s.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Push([]float64{4}, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	path := filepath.Join(t.TempDir(), "srv.ckpt")
+	if err := s.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	var wrote bool
+	for _, e := range fj.Events() {
+		if e.Kind == "checkpoint.write" {
+			wrote = true
+		}
+	}
+	if !wrote {
+		t.Fatalf("no checkpoint.write event:\n%s", journal.Timeline(fj.Events()))
+	}
+
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj2 := journal.NewFleet(64, journal.New(-1, 64))
+	s2, err := NewServerOpts(ln, []float64{0}, ServerOptions{Alpha: 0.5, Resume: ck, Journal: fj2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var resumed bool
+	for _, e := range fj2.Events() {
+		if e.Kind == "checkpoint.resume" && e.Round == ck.Version {
+			resumed = true
+		}
+	}
+	if !resumed {
+		t.Fatalf("no checkpoint.resume event:\n%s", journal.Timeline(fj2.Events()))
+	}
+	os.Remove(path)
+}
+
+// BenchmarkPushJournal measures the 100k-weight push round trip with the
+// flight recorder nil, attached-but-disabled, and recording on both ends —
+// the satellite overhead guard: nil must be free, recording <2% (gated via
+// the scenario bench capture, mirroring the internal/obs nop-recorder
+// proof).
+func BenchmarkPushJournal(b *testing.B) {
+	const n = 100_000
+	run := func(b *testing.B, cliJ *journal.Recorder, srvJ *journal.Fleet) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := NewServerOpts(ln, make([]float64, n), ServerOptions{Alpha: 0.5, Journal: srvJ})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { s.Close() })
+		c, err := DialOptions(s.Addr(), 0, Options{Journal: cliJ})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = float64(i%7) * 0.25
+		}
+		v := 0
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, v, err = c.Push(w, 10, v); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(n * 8)
+	}
+	b.Run("nil", func(b *testing.B) { run(b, nil, nil) })
+	b.Run("disabled", func(b *testing.B) {
+		cliJ := journal.New(0, journal.DefaultCapacity)
+		cliJ.SetDisabled(true)
+		srvLocal := journal.New(-1, journal.DefaultCapacity)
+		srvLocal.SetDisabled(true)
+		run(b, cliJ, journal.NewFleet(journal.DefaultCapacity, srvLocal))
+	})
+	b.Run("recording", func(b *testing.B) {
+		run(b, journal.New(0, journal.DefaultCapacity),
+			journal.NewFleet(journal.DefaultCapacity, journal.New(-1, journal.DefaultCapacity)))
+	})
+}

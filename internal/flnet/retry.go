@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"ecofl/internal/flnet/wire"
+	"ecofl/internal/obs/journal"
 )
 
 // Dialer opens the transport connection to the server. Tests and emulations
@@ -47,6 +48,12 @@ type Options struct {
 	// MaxPayload caps the reply payload bytes the client will accept on a
 	// binary connection (0 = the wire package default, 128 MiB).
 	MaxPayload int
+	// Journal, when non-nil, receives flight-recorder events for every
+	// fault-path decision this client takes (retry, reconnect, gob fallback,
+	// sparse re-sync) plus an ack event per applied push. The recorder also
+	// piggybacks on telemetry snapshots into the server's fleet journal.
+	// nil (the default) costs ~nothing: every record call is a nil-check.
+	Journal *journal.Recorder
 }
 
 func (o Options) withDefaults(id int) Options {
@@ -132,6 +139,7 @@ func (c *Client) installConn(conn net.Conn) error {
 			// gob is always accepted — at the cost of the fast path.
 			c.gobFallback = true
 			cliWireFallbacks.Inc()
+			c.opts.Journal.Record("wire.gob-fallback", journal.None, c.ID)
 		}
 		return err
 	}
@@ -169,6 +177,7 @@ func (c *Client) reconnectLocked() error {
 	}
 	c.reconnects.Add(1)
 	cliReconnects.Inc()
+	c.opts.Journal.Record("net.reconnect", journal.None, c.ID)
 	return nil
 }
 

@@ -40,11 +40,13 @@ func (c *Client) PushDelta(w []float64, samples, baseVersion, topK int) ([]float
 	if !haveRef {
 		c.scratchMu.Unlock()
 		cliSparseFallbacks.Inc()
+		c.opts.Journal.Record("sparse.resync", baseVersion, c.ID, "reason", "no-ref")
 		return c.Push(w, samples, baseVersion)
 	}
 	if wire.SparseSize(len(c.sparseIdx)) >= 8*len(w) {
 		c.scratchMu.Unlock()
 		cliSparseFallbacks.Inc()
+		c.opts.Journal.Record("sparse.resync", baseVersion, c.ID, "reason", "too-dense")
 		return c.Push(w, samples, baseVersion)
 	}
 	rep, err := c.roundTrip(&request{
@@ -56,6 +58,7 @@ func (c *Client) PushDelta(w []float64, samples, baseVersion, topK int) ([]float
 	if err != nil {
 		if strings.Contains(err.Error(), sparseBaseMismatch) {
 			cliSparseFallbacks.Inc()
+			c.opts.Journal.Record("sparse.resync", baseVersion, c.ID, "reason", "base-mismatch")
 			return c.Push(w, samples, baseVersion)
 		}
 		return nil, 0, err

@@ -11,6 +11,7 @@ package flnet
 // curves are byte-identical with it on or off (tested).
 
 import (
+	"encoding/json"
 	"strconv"
 	"strings"
 	"sync"
@@ -18,6 +19,7 @@ import (
 
 	"ecofl/internal/metrics"
 	"ecofl/internal/obs"
+	"ecofl/internal/obs/journal"
 )
 
 // MetricPoint is one metric's state inside a telemetry snapshot. Histograms
@@ -45,6 +47,17 @@ type TelemetrySnapshot struct {
 	NodeNow float64
 	Metrics []MetricPoint
 	Spans   []obs.Event
+	// JournalBlob is the tail of the node's flight recorder not yet shipped
+	// (incremental, like Spans), as JSON-encoded []journal.Event. Opaque
+	// bytes on purpose: a typed field would pull journal.Event into the gob
+	// type-descriptor closure, and a fresh gob stream re-sends every
+	// descriptor on reconnect — each extra descriptor message is one more
+	// write a faulty link can kill, which measurably shrinks the chaos
+	// soak's recovery margin. JournalNow is the journal clock at snapshot
+	// time, aligning events onto the server clock the same way NodeNow
+	// aligns spans.
+	JournalBlob []byte
+	JournalNow  float64
 }
 
 // telemetryState is a client's telemetry configuration, guarded by Client.mu
@@ -56,6 +69,11 @@ type telemetryState struct {
 	trace     *obs.Trace
 	proc      string
 	sentSpans int
+	// sentJournal is the Seq high-water mark of journal events already
+	// shipped (the journal itself is Options.Journal). A retried request
+	// re-sends the same snapshot verbatim; the server-side fleet journal
+	// dedups by Seq, so re-delivery is harmless.
+	sentJournal uint64
 }
 
 // EnableTelemetry starts shipping this node's metrics and trace spans to the
@@ -136,6 +154,15 @@ func (c *Client) telemetrySnapshotLocked() *TelemetrySnapshot {
 		tel.sentSpans += len(spans)
 		snap.Spans = spans
 	}
+	if rec := c.opts.Journal; rec != nil {
+		snap.JournalNow = rec.Now()
+		if evs := rec.EventsSince(tel.sentJournal); len(evs) > 0 {
+			if b, err := json.Marshal(evs); err == nil {
+				tel.sentJournal = evs[len(evs)-1].Seq
+				snap.JournalBlob = b
+			}
+		}
+	}
 	return snap
 }
 
@@ -149,6 +176,7 @@ type Fleet struct {
 	reg      *metrics.Registry
 	trace    *obs.Trace
 	detector *StragglerDetector
+	journal  *journal.Fleet // nil unless ServerOptions.Journal was set
 
 	mu       sync.Mutex
 	named    map[int]bool    // node lanes already labeled in the trace
@@ -173,6 +201,10 @@ func (f *Fleet) Trace() *obs.Trace { return f.trace }
 
 // Straggler returns the detector fed by measured push intervals.
 func (f *Fleet) Straggler() *StragglerDetector { return f.detector }
+
+// Journal returns the merged fleet flight recorder (nil when journaling was
+// not enabled on the server; journal.Fleet methods are nil-safe).
+func (f *Fleet) Journal() *journal.Fleet { return f.journal }
 
 // validMetricPoint rejects wire-supplied names the registry would refuse
 // (it panics on malformed label names — correct for in-process bugs, fatal
@@ -227,6 +259,14 @@ func (f *Fleet) ingest(snap *TelemetrySnapshot) {
 			f.mu.Unlock()
 		}
 		f.trace.ImportEvents(snap.NodeID, offset, snap.Spans)
+	}
+	if len(snap.JournalBlob) > 0 && f.journal != nil {
+		var evs []journal.Event
+		if err := json.Unmarshal(snap.JournalBlob, &evs); err != nil {
+			srvDecodeErrors.Inc() // hostile or corrupt blob; forensics are best-effort
+		} else {
+			f.journal.Import(snap.NodeID, f.journal.ClockOffset(snap.JournalNow), evs)
+		}
 	}
 }
 

@@ -1,0 +1,208 @@
+package journal
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Fleet merges journals from many nodes into one causally-ordered timeline.
+// The server owns one: its own lane records locally, and client journals
+// arrive piggybacked on telemetry pushes, get shifted onto the server clock
+// with the same offset convention as obs.Trace.ClockOffset, and land in a
+// bounded imported ring. Re-delivered batches (telemetry snapshots are
+// re-sent verbatim when a push is retried) are deduped with a per-node Seq
+// high-water mark. A nil *Fleet is a valid nop, like a nil *Recorder.
+type Fleet struct {
+	local *Recorder
+	max   int
+
+	mu       sync.Mutex
+	imported []Event
+	next     int
+	dropped  uint64
+	hwm      map[int]uint64
+}
+
+// NewFleet builds a fleet journal around the server's local recorder (which
+// may be nil when the server lane itself does not record). capacity bounds
+// the imported ring; <= 0 selects DefaultCapacity.
+func NewFleet(capacity int, local *Recorder) *Fleet {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Fleet{local: local, max: capacity, hwm: make(map[int]uint64)}
+}
+
+// Local returns the server-lane recorder (nil-safe).
+func (f *Fleet) Local() *Recorder {
+	if f == nil {
+		return nil
+	}
+	return f.local
+}
+
+// ClockOffset mirrors obs.Trace.ClockOffset: given a remote journal clock
+// reading taken "now", it returns the seconds to add to that node's event
+// timestamps to place them on the local clock. Non-finite remote readings
+// (hostile or uninitialized) yield offset 0 rather than poisoning the merge.
+func (f *Fleet) ClockOffset(remoteNow float64) float64 {
+	if f == nil {
+		return 0
+	}
+	if math.IsNaN(remoteNow) || math.IsInf(remoteNow, 0) {
+		return 0
+	}
+	return f.local.Now() - remoteNow
+}
+
+// Import merges a batch of events from a remote node, shifting timestamps by
+// offset onto the local clock. Events whose Seq is at or below the node's
+// high-water mark are dropped as re-deliveries; shifted timestamps are
+// clamped at 0 so a negative offset (remote clock ahead) cannot push events
+// before the epoch, and non-finite inputs are sanitized instead of imported.
+func (f *Fleet) Import(node int, offset float64, evs []Event) {
+	if f == nil || len(evs) == 0 {
+		return
+	}
+	if math.IsNaN(offset) || math.IsInf(offset, 0) {
+		offset = 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, e := range evs {
+		if e.Seq != 0 && e.Seq <= f.hwm[node] {
+			continue // re-delivered on retry
+		}
+		if e.Seq > f.hwm[node] {
+			f.hwm[node] = e.Seq
+		}
+		if math.IsNaN(e.TS) || math.IsInf(e.TS, 0) {
+			continue
+		}
+		e.Node = node
+		e.TS += offset
+		if e.TS < 0 {
+			e.TS = 0
+		}
+		if len(f.imported) < f.max {
+			f.imported = append(f.imported, e)
+		} else {
+			f.imported[f.next] = e
+			f.next++
+			if f.next == f.max {
+				f.next = 0
+			}
+			f.dropped++
+		}
+	}
+}
+
+// Events returns the merged timeline — local lane plus every imported node —
+// sorted causally by (TS, Node, Seq).
+func (f *Fleet) Events() []Event {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	imported := make([]Event, 0, len(f.imported))
+	imported = append(imported, f.imported[f.next:]...)
+	imported = append(imported, f.imported[:f.next]...)
+	f.mu.Unlock()
+	return Merge(f.local.Events(), imported)
+}
+
+// Dropped reports imported events lost to ring overwrite (local-lane drops
+// are reported by the local recorder itself).
+func (f *Fleet) Dropped() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}
+
+// Nodes reports how many distinct remote nodes have imported events.
+func (f *Fleet) Nodes() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.hwm)
+}
+
+// Merge concatenates event batches and sorts them into causal order:
+// primarily by timestamp, then by node, then by per-node sequence so
+// same-instant events from one recorder keep their recording order.
+func Merge(batches ...[]Event) []Event {
+	n := 0
+	for _, b := range batches {
+		n += len(b)
+	}
+	out := make([]Event, 0, n)
+	for _, b := range batches {
+		out = append(out, b...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// Filter selects events for queries and the /events endpoint. Nil pointer
+// fields match everything; Kind matches exactly or as a dotted prefix
+// ("exec" matches "exec.heal"); Last keeps only the trailing N matches.
+type Filter struct {
+	Node   *int
+	Round  *int
+	Client *int
+	Kind   string
+	Last   int
+}
+
+// Match reports whether the event passes the filter (ignoring Last).
+func (q Filter) Match(e Event) bool {
+	if q.Node != nil && e.Node != *q.Node {
+		return false
+	}
+	if q.Round != nil && e.Round != *q.Round {
+		return false
+	}
+	if q.Client != nil && e.Client != *q.Client {
+		return false
+	}
+	if q.Kind != "" && e.Kind != q.Kind {
+		if len(e.Kind) <= len(q.Kind) || e.Kind[:len(q.Kind)] != q.Kind || e.Kind[len(q.Kind)] != '.' {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply filters evs (which must already be ordered) and applies Last.
+func Apply(evs []Event, q Filter) []Event {
+	out := make([]Event, 0, len(evs))
+	for _, e := range evs {
+		if q.Match(e) {
+			out = append(out, e)
+		}
+	}
+	return Tail(out, q.Last)
+}
+
+// Tail returns the last n events (all of them when n <= 0).
+func Tail(evs []Event, n int) []Event {
+	if n <= 0 || len(evs) <= n {
+		return evs
+	}
+	return evs[len(evs)-n:]
+}

@@ -1,0 +1,59 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// eventsResponse is the /events JSON envelope.
+type eventsResponse struct {
+	Count   int     `json:"count"`
+	Dropped uint64  `json:"dropped"`
+	Events  []Event `json:"events"`
+}
+
+// Handler serves the merged fleet timeline as JSON with query filters:
+//
+//	/events?node=2&round=5&client=7&kind=exec&last=50
+//
+// node/round/client are exact integer matches, kind matches exactly or as a
+// dotted prefix, last keeps only the trailing N events. Invalid integers are
+// a 400; a nil fleet serves an empty timeline.
+func (f *Fleet) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var q Filter
+		bad := func(param, val string) {
+			http.Error(w, fmt.Sprintf("events: bad %s %q", param, val), http.StatusBadRequest)
+		}
+		for _, p := range []struct {
+			name string
+			dst  **int
+		}{{"node", &q.Node}, {"round", &q.Round}, {"client", &q.Client}} {
+			if v := r.URL.Query().Get(p.name); v != "" {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					bad(p.name, v)
+					return
+				}
+				*p.dst = &n
+			}
+		}
+		q.Kind = r.URL.Query().Get("kind")
+		if v := r.URL.Query().Get("last"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				bad("last", v)
+				return
+			}
+			q.Last = n
+		}
+		evs := Apply(f.Events(), q)
+		resp := eventsResponse{Count: len(evs), Dropped: f.Dropped() + f.Local().Dropped(), Events: evs}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp)
+	})
+}

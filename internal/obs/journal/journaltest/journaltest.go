@@ -1,0 +1,40 @@
+// Package journaltest wires flight-recorder dumps into tests: attach
+// journals to the systems under test and, if the test fails, the merged
+// causal timeline is printed so the failure comes with its own forensic
+// record. Kept separate from package journal so production binaries never
+// import "testing".
+package journaltest
+
+import (
+	"testing"
+
+	"ecofl/internal/obs/journal"
+)
+
+// Source is anything that can hand over its buffered events — *Recorder and
+// *Fleet both qualify, and both are nil-safe.
+type Source interface {
+	Events() []journal.Event
+}
+
+// DumpOnFailure registers a cleanup that, if the test has failed, merges the
+// sources into one causal timeline and logs the last n events (n <= 0 means
+// all). Call it right after constructing the journals.
+func DumpOnFailure(t testing.TB, n int, srcs ...Source) {
+	t.Helper()
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		var batches [][]journal.Event
+		for _, s := range srcs {
+			if s == nil {
+				continue
+			}
+			batches = append(batches, s.Events())
+		}
+		all := journal.Merge(batches...)
+		tail := journal.Tail(all, n)
+		t.Logf("flight recorder: last %d of %d events:\n%s", len(tail), len(all), journal.Timeline(tail))
+	})
+}

@@ -1,5 +1,7 @@
 package obs
 
+import "math"
+
 // Cross-node trace federation: a fleet server merges span batches shipped by
 // remote nodes into one Trace, one process lane (pid) per node, with a
 // clock-offset shift so all spans land on the server's clock. The result
@@ -30,22 +32,52 @@ func (t *Trace) EventsFrom(from int) []Event {
 // clock with this trace's clock: offset = t.Now() − senderNow, computed when
 // the batch arrives (transit time is attributed to the offset, which is the
 // best a one-way exchange can do). Tids and args pass through unchanged.
+//
+// Batches may arrive out of order (retries, interleaved nodes) — events are
+// stored as they come and the Chrome exporter sorts by (pid, tid, start), so
+// arrival order never corrupts the rendered timeline. Hostile or skewed
+// inputs are sanitized rather than imported raw: a non-finite offset is
+// treated as 0, events with non-finite timestamps are skipped, negative
+// durations are clamped to 0, and a negative shifted start (remote clock
+// ahead of ours by more than the event's age) clamps to 0 so no span renders
+// before the trace epoch.
 func (t *Trace) ImportEvents(pid int, offset float64, evs []Event) {
 	if t == nil || len(evs) == 0 {
 		return
 	}
+	if math.IsNaN(offset) || math.IsInf(offset, 0) {
+		offset = 0
+	}
 	t.mu.Lock()
 	for _, e := range evs {
+		if math.IsNaN(e.Start) || math.IsInf(e.Start, 0) ||
+			math.IsNaN(e.Dur) || math.IsInf(e.Dur, 0) {
+			t.dropped++
+			continue
+		}
 		e.PID = pid
 		e.Start += offset
-		t.events = append(t.events, e)
+		if e.Start < 0 {
+			e.Start = 0
+		}
+		if e.Dur < 0 {
+			e.Dur = 0
+		}
+		t.appendLocked(e)
 	}
 	t.mu.Unlock()
 }
 
 // ClockOffset returns the shift that maps a remote clock reading onto this
 // trace's clock, given the remote's Now sampled at send time and read here at
-// receive time: remoteStart + offset ≈ local time of the same instant.
+// receive time: remoteStart + offset ≈ local time of the same instant. The
+// offset is negative whenever the remote clock reads ahead of ours (it
+// started earlier), which is as valid as the positive case. A non-finite
+// remote reading (hostile wire input) yields 0 instead of poisoning every
+// subsequently imported timestamp.
 func (t *Trace) ClockOffset(remoteNow float64) float64 {
+	if math.IsNaN(remoteNow) || math.IsInf(remoteNow, 0) {
+		return 0
+	}
 	return t.Now() - remoteNow
 }

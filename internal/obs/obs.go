@@ -19,6 +19,13 @@ import (
 	"time"
 )
 
+// DefaultMaxEvents bounds a Trace's event buffer unless SetMaxEvents says
+// otherwise. Long chaos soaks record spans for hours; an unbounded buffer
+// turns them into a slow OOM. At ~100 B/event this default caps a trace near
+// 25 MB; events past the cap are counted in Dropped rather than stored
+// (drop-newest, so EventsFrom high-water-mark shipping keeps stable indexes).
+const DefaultMaxEvents = 1 << 18
+
 // Event is one recorded trace event. Timestamps are in the trace's clock
 // units (seconds); the Chrome exporter converts to microseconds.
 type Event struct {
@@ -41,6 +48,8 @@ type Trace struct {
 
 	mu        sync.Mutex
 	events    []Event
+	max       int // 0 = unbounded
+	dropped   uint64
 	procNames map[int]string
 	threads   map[[2]int]string
 }
@@ -61,9 +70,45 @@ func NewVirtual(now func() float64) *Trace { return New(now) }
 func New(clock func() float64) *Trace {
 	return &Trace{
 		clock:     clock,
+		max:       DefaultMaxEvents,
 		procNames: make(map[int]string),
 		threads:   make(map[[2]int]string),
 	}
+}
+
+// SetMaxEvents caps the event buffer at n events; n <= 0 removes the bound.
+// Once full, new events are dropped (newest-first) and counted in Dropped —
+// drop-newest keeps indexes stable for EventsFrom incremental shipping, and
+// the Chrome export stays valid because stored events are never mutated.
+func (t *Trace) SetMaxEvents(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if n < 0 {
+		n = 0
+	}
+	t.max = n
+	t.mu.Unlock()
+}
+
+// Dropped reports how many events were discarded after the buffer filled.
+func (t *Trace) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// appendLocked stores e unless the cap is reached; callers hold t.mu.
+func (t *Trace) appendLocked(e Event) {
+	if t.max > 0 && len(t.events) >= t.max {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, e)
 }
 
 // Enabled reports whether events are being recorded.
@@ -109,7 +154,7 @@ func (t *Trace) Span(pid, tid int, name, cat string, start, end float64, args ma
 		dur = 0
 	}
 	t.mu.Lock()
-	t.events = append(t.events, Event{
+	t.appendLocked(Event{
 		Name: name, Cat: cat, Start: start, Dur: dur, PID: pid, TID: tid, Args: args,
 	})
 	t.mu.Unlock()
@@ -121,7 +166,7 @@ func (t *Trace) InstantAt(pid, tid int, name, cat string, at float64) {
 		return
 	}
 	t.mu.Lock()
-	t.events = append(t.events, Event{Name: name, Cat: cat, Start: at, PID: pid, TID: tid, Instant: true})
+	t.appendLocked(Event{Name: name, Cat: cat, Start: at, PID: pid, TID: tid, Instant: true})
 	t.mu.Unlock()
 }
 

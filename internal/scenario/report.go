@@ -47,6 +47,10 @@ type Report struct {
 	// Warnings records non-fatal anomalies observed during the run (push
 	// failures under chaos, missing instrumentation).
 	Warnings []string `json:"warnings,omitempty"`
+	// JournalEvents is the flight recorder's event-count-by-kind summary,
+	// present when the spec enabled journaling. The full timeline is not
+	// embedded — it is dumped on failure and queryable live via /events.
+	JournalEvents map[string]int `json:"journal_events,omitempty"`
 }
 
 // setMetric records one named measurement.

@@ -2,15 +2,18 @@ package scenario
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"net"
+	"os"
 	"time"
 
 	"ecofl/internal/experiments"
 	"ecofl/internal/fl"
 	"ecofl/internal/flnet"
 	"ecofl/internal/metrics"
+	"ecofl/internal/obs/journal"
 	"ecofl/internal/simnet"
 )
 
@@ -26,6 +29,53 @@ type RunOptions struct {
 	// SampleEvery is the runtime-sampler cadence. 0 means 50ms — frequent
 	// enough to catch a goroutine spike inside a single flnet round.
 	SampleEvery time.Duration
+	// DumpTo receives the flight-recorder timeline tail when a journaled
+	// scenario fails. Nil means os.Stderr.
+	DumpTo io.Writer
+}
+
+// dumpTail is how many trailing journal events a failing scenario prints.
+const dumpTail = 40
+
+// journals holds the flight recorders a journaled scenario run attaches;
+// zero value (journaling disabled) is inert — every method on nil recorders
+// is a nop.
+type journals struct {
+	rec   *journal.Recorder // fl / pipeline topologies: one local lane
+	fleet *journal.Fleet    // flnet topology: server + imported client lanes
+	cap   int
+}
+
+// newJournals builds the recorders the spec's topology needs.
+func newJournals(spec *Spec) journals {
+	if !spec.Journal.Enabled {
+		return journals{}
+	}
+	capacity := spec.Journal.Capacity
+	if capacity == 0 {
+		capacity = journal.DefaultCapacity
+	}
+	j := journals{cap: capacity}
+	switch spec.Topology {
+	case TopologyFLNet:
+		j.fleet = journal.NewFleet(capacity, journal.New(-1, capacity))
+	case TopologyFL:
+		// Clockless: the simulation stamps virtual time via RecordAt.
+		j.rec = journal.NewClock(0, capacity, nil)
+	default:
+		j.rec = journal.New(0, capacity)
+	}
+	return j
+}
+
+func (j journals) enabled() bool { return j.rec != nil || j.fleet != nil }
+
+// events returns the merged causal timeline across every attached lane.
+func (j journals) events() []journal.Event {
+	if j.fleet != nil {
+		return j.fleet.Events()
+	}
+	return j.rec.Events()
 }
 
 // Run executes one validated scenario end to end and returns its report.
@@ -57,19 +107,36 @@ func Run(spec *Spec, opts RunOptions) (*Report, error) {
 	stop := rs.Start(opts.SampleEvery)
 	t0 := time.Now()
 
+	jn := newJournals(spec)
 	var err error
 	switch spec.Topology {
 	case TopologyFL:
-		err = runFL(spec, rep, rs)
+		err = runFL(spec, rep, rs, jn)
 	case TopologyFLNet:
-		err = runFLNet(spec, rep, rs)
+		err = runFLNet(spec, rep, rs, jn)
 	case TopologyPipeline:
-		err = runPipeline(spec, rep)
+		err = runPipeline(spec, rep, jn)
 	}
 	stop()
 	rs.Sample() // end-of-run state: the freshest peaks
 	if err != nil {
+		if jn.enabled() {
+			// Dump-on-failure: the forensic record of what led up to it.
+			w := opts.DumpTo
+			if w == nil {
+				w = os.Stderr
+			}
+			evs := jn.events()
+			tail := journal.Tail(evs, dumpTail)
+			fmt.Fprintf(w, "scenario %s failed; flight recorder (last %d of %d events):\n%s",
+				spec.Name, len(tail), len(evs), journal.Timeline(tail))
+		}
 		return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+	}
+	if jn.enabled() {
+		evs := jn.events()
+		rep.JournalEvents = journal.CountByKind(evs)
+		rep.setMetric("journal_events_total", float64(len(evs)))
 	}
 
 	rep.ElapsedSeconds = time.Since(t0).Seconds()
@@ -148,8 +215,9 @@ func dataset(spec *Spec) string {
 // ---------------------------------------------------------------- fl
 
 // runFL executes the in-process virtual-time simulation.
-func runFL(spec *Spec, rep *Report, rs *metrics.RuntimeSampler) error {
+func runFL(spec *Spec, rep *Report, rs *metrics.RuntimeSampler, jn journals) error {
 	cfg := flConfigFromSpec(spec)
+	cfg.Journal = jn.rec
 	pop := experiments.BuildPopulation(spec.Seed, dataset(spec), scaleFromSpec(spec), cfg)
 	before := snapshotMap(metrics.Default)
 	r, err := fl.RunByName(pop, spec.Agg.Strategy)
@@ -205,7 +273,7 @@ const (
 // pushes happen in client order off one rng — so the accuracy curve is
 // deterministic for a given spec; chaos (when scheduled) perturbs delivery,
 // not the training stream, and push dedup keeps retried updates exactly-once.
-func runFLNet(spec *Spec, rep *Report, rs *metrics.RuntimeSampler) error {
+func runFLNet(spec *Spec, rep *Report, rs *metrics.RuntimeSampler, jn journals) error {
 	cfg := flConfigFromSpec(spec)
 	pop := experiments.BuildPopulation(spec.Seed, dataset(spec), scaleFromSpec(spec), cfg)
 	alpha := spec.Agg.Alpha
@@ -218,7 +286,7 @@ func runFLNet(spec *Spec, rep *Report, rs *metrics.RuntimeSampler) error {
 	if err != nil {
 		return err
 	}
-	srv, err := flnet.NewServerOpts(ln, pop.GlobalInit(), flnet.ServerOptions{Alpha: alpha})
+	srv, err := flnet.NewServerOpts(ln, pop.GlobalInit(), flnet.ServerOptions{Alpha: alpha, Journal: jn.fleet})
 	if err != nil {
 		ln.Close()
 		return err
@@ -232,6 +300,12 @@ func runFLNet(spec *Spec, rep *Report, rs *metrics.RuntimeSampler) error {
 			cl.Close()
 		}
 	}()
+	var telemetryStops []func()
+	defer func() {
+		for _, stop := range telemetryStops {
+			stop()
+		}
+	}()
 	for i := 0; i < n; i++ {
 		o := flnet.Options{
 			Timeout:     flnetTimeout,
@@ -241,7 +315,13 @@ func runFLNet(spec *Spec, rep *Report, rs *metrics.RuntimeSampler) error {
 			JitterSeed:  spec.Seed + int64(i) + 1,
 			Wire:        wireMode(spec.Wire.Mode),
 		}
+		if jn.fleet != nil {
+			o.Journal = journal.New(i, jn.cap)
+		}
 		if chaos := chaosForClient(spec, i); chaos != nil {
+			// The chaos state logs injected faults into the client's lane, so
+			// cause and recovery land in the same timeline.
+			chaos.SetJournal(o.Journal, i)
 			o.Dialer = chaos.Dialer(nil)
 		}
 		cl, err := flnet.DialOptions(srv.Addr(), i, o)
@@ -249,6 +329,12 @@ func runFLNet(spec *Spec, rep *Report, rs *metrics.RuntimeSampler) error {
 			return fmt.Errorf("dial client %d: %w", i, err)
 		}
 		clients = append(clients, cl)
+		if jn.fleet != nil {
+			// Piggyback the client journal onto push traffic (a private empty
+			// registry: the journal rides along without metric noise).
+			telemetryStops = append(telemetryStops,
+				cl.EnableTelemetry(metrics.NewRegistry(), nil, "scenario", 0))
+		}
 	}
 
 	topK := spec.Wire.TopK
@@ -384,13 +470,14 @@ func chaosForClient(spec *Spec, i int) *simnet.Chaos {
 
 // runPipeline executes the live failover run: a real partitioned model
 // trained through the self-healing executor with chaos and a scheduled kill.
-func runPipeline(spec *Spec, rep *Report) error {
+func runPipeline(spec *Spec, rep *Report, jn journals) error {
 	cfg := &experiments.LiveFailover{
 		Seed:           spec.Seed,
 		Rounds:         spec.Run.Rounds,
 		MicroBatchSize: spec.Pipeline.MicroBatchSize,
 		FailRound:      spec.Pipeline.FailRound,
 		FailDevice:     spec.Pipeline.FailDevice,
+		Journal:        jn.rec,
 	}
 	if len(spec.Faults) > 0 {
 		cfg.Chaos = spec.Faults[0].Mode

@@ -51,6 +51,18 @@ type Spec struct {
 	Faults   []FaultSpec  `json:"faults,omitempty"`
 	Run      RunSpec      `json:"run"`
 	Pipeline PipelineSpec `json:"pipeline,omitempty"`
+	Journal  JournalSpec  `json:"journal,omitempty"`
+}
+
+// JournalSpec attaches the flight recorder (internal/obs/journal) to the
+// run: every fault-path decision is journaled, the report gains an
+// event-count summary, and a failing run dumps the tail of the merged
+// timeline for forensics.
+type JournalSpec struct {
+	Enabled bool `json:"enabled,omitempty"`
+	// Capacity bounds each recorder ring (events). 0 means the journal
+	// package default.
+	Capacity int `json:"capacity,omitempty"`
 }
 
 // FleetSpec sizes the client fleet and its compute/latency distribution.
@@ -205,6 +217,9 @@ func (s *Spec) Validate() error {
 	}
 	if err := s.Run.validate(s.Topology); err != nil {
 		return err
+	}
+	if s.Journal.Capacity < 0 {
+		return fmt.Errorf("journal.capacity must not be negative (got %d)", s.Journal.Capacity)
 	}
 	return nil
 }

@@ -15,8 +15,11 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"time"
+
+	"ecofl/internal/obs/journal"
 )
 
 // FaultMode selects what happens when the fault trigger fires on a write.
@@ -120,11 +123,25 @@ type Chaos struct {
 	rng       *rand.Rand
 	writes    int
 	partUntil time.Time
+	journal   *journal.Recorder
+	link      int
 }
 
 // NewChaos builds the shared fault state for one link.
 func NewChaos(plan FaultPlan) *Chaos {
 	return &Chaos{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// SetJournal attaches a flight recorder so every injected fault logs its
+// cause (a "chaos.inject" event tagged with the link id and fault mode) —
+// soaks correlate injection with the failure the system then observes. A nil
+// recorder detaches. Safe to call at any time, including on a Chaos already
+// wrapping live connections.
+func (c *Chaos) SetJournal(rec *journal.Recorder, link int) {
+	c.mu.Lock()
+	c.journal = rec
+	c.link = link
+	c.mu.Unlock()
 }
 
 // Wrap returns conn with the chaos plan applied to its writes.
@@ -187,6 +204,10 @@ func (c *Chaos) decide() FaultMode {
 	if c.plan.Mode == FaultPartition {
 		c.partUntil = time.Now().Add(c.plan.Partition)
 	}
+	// Log the injection itself (not the repeated effects of an open
+	// partition window) so one fault maps to one journal event.
+	c.journal.Record("chaos.inject", journal.None, c.link,
+		"mode", c.plan.Mode.String(), "write", strconv.Itoa(c.writes))
 	return c.plan.Mode
 }
 

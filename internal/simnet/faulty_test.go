@@ -6,6 +6,8 @@ import (
 	"net"
 	"testing"
 	"time"
+
+	"ecofl/internal/obs/journal"
 )
 
 // readAll drains n bytes from conn on a goroutine and delivers them.
@@ -149,5 +151,54 @@ func TestFaultScheduleDeterministic(t *testing.T) {
 	}
 	if fired == 0 {
 		t.Fatal("plan with Prob 0.3 over 50 writes never fired")
+	}
+}
+
+// Every injected fault logs its cause to an attached flight recorder, with
+// the link id and mode — and exactly once per injection, not once per
+// partition-window effect.
+func TestChaosJournalsInjectedFaults(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	rec := journal.New(0, 16)
+	chaos := NewChaos(FaultPlan{Seed: 3, Mode: FaultBlackHole, Prob: 1})
+	chaos.SetJournal(rec, 7)
+	f := chaos.Wrap(a)
+	for i := 0; i < 3; i++ {
+		if _, err := f.Write([]byte("x")); err != nil {
+			t.Fatalf("black-hole write errored: %v", err)
+		}
+	}
+	evs := rec.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d journal events, want 3: %+v", len(evs), evs)
+	}
+	for _, e := range evs {
+		if e.Kind != "chaos.inject" || e.Client != 7 || e.Attrs["mode"] != "black-hole" {
+			t.Fatalf("bad injection event: %+v", e)
+		}
+	}
+
+	// A partition logs once at injection; writes inside the window do not
+	// add events.
+	rec2 := journal.New(0, 16)
+	pchaos := NewChaos(FaultPlan{Seed: 3, Mode: FaultPartition, Prob: 1, Partition: 50 * time.Millisecond})
+	pchaos.SetJournal(rec2, 1)
+	pf := pchaos.Wrap(b)
+	for i := 0; i < 4; i++ {
+		pf.Write([]byte("x"))
+	}
+	if got := rec2.Len(); got != 1 {
+		t.Fatalf("partition logged %d events, want 1: %+v", got, rec2.Events())
+	}
+	if e := rec2.Events()[0]; e.Attrs["mode"] != "partition" {
+		t.Fatalf("bad partition event: %+v", e)
+	}
+
+	// No journal attached: faults still work (nil recorder is a nop).
+	nchaos := NewChaos(FaultPlan{Seed: 3, Mode: FaultBlackHole, Prob: 1})
+	if _, err := nchaos.Wrap(a).Write([]byte("x")); err != nil {
+		t.Fatalf("journal-less chaos write errored: %v", err)
 	}
 }

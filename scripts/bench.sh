@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Thin wrapper over the scenario harness: runs the example scenarios through
-# `ecofl bench` and writes BENCH_pr7.json in the ecofl/bench-suite/v1 schema
+# `ecofl bench` and writes BENCH_pr8.json in the ecofl/bench-suite/v1 schema
 # (accuracy curve, round-time p50/p95, bytes/push per wire codec, goroutine
 # HWM, peak heap, GC pause tail — per scenario).
 #
@@ -12,13 +12,17 @@
 # (BENCH_pr1.json..BENCH_pr6.json, the go-bench ns/op schema) still load as
 # baselines; their metrics are reported missing-with-warning, never failures.
 #
+# smoke-journal is smoke with the flight recorder on: its round-time metrics
+# double as a live check that journaling stays at the noise floor, and its
+# journal_events_total proves the recorder actually captured the run.
+#
 # Provenance (git SHA, capture time) is passed in explicitly — the harness
 # never reads them ambiently, so a re-run of this script is the only thing
 # that stamps a new identity on the artifact.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_pr7.json}
+out=${1:-BENCH_pr8.json}
 baseline=${2:-}
 
 compare=()
@@ -28,6 +32,7 @@ fi
 
 go run ./cmd/ecofl bench \
 	--scenario examples/scenarios/smoke.json \
+	--scenario examples/scenarios/smoke-journal.json \
 	--scenario examples/scenarios/clean.json \
 	--scenario examples/scenarios/sparse.json \
 	--scenario examples/scenarios/dropout30.json \
