@@ -49,6 +49,8 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-round-trip deadline (negative disables)")
 	retries := flag.Int("retries", 5, "round-trip retries over fresh connections before giving up (negative disables)")
 	journalCap := flag.Int("journal", 0, "flight-recorder events kept (0 disables); with --telemetry the lane ships to the server's /events timeline")
+	napAfter := flag.Int("nap-after", 0, "go dark after this many rounds (0 disables) — churn drill for a lease-running server")
+	napFor := flag.Duration("nap-for", 0, "how long to stay dark at the --nap-after point")
 	flag.Parse()
 
 	if *id < 0 || *id >= *of {
@@ -133,6 +135,14 @@ func main() {
 	}
 	lrng := rand.New(rand.NewSource(int64(1000 + *id)))
 	for round := 1; round <= *rounds; round++ {
+		if *napAfter > 0 && *napFor > 0 && round == *napAfter+1 {
+			// Simulated churn: the device leaves the network long enough for a
+			// lease-running server to expire its session, then resumes. The
+			// next push rides the lease re-sync path transparently.
+			log.Printf("ecofl-portal %d: napping %v after round %d (lease churn drill)",
+				*id, *napFor, *napAfter)
+			time.Sleep(*napFor)
+		}
 		pipe.Network().SetFlatWeights(w)
 		opt := &nn.SGD{LR: *lr, Mu: *mu, Global: w}
 		var loss float64

@@ -90,6 +90,7 @@ func main() {
 	gobOnly := flag.Bool("gob-only", false, "disable the binary wire protocol (emulate a pre-binary server; portals fall back to gob)")
 	ingestBatch := flag.Int("ingest-batch", 0, "max pushes mixed per model-lock acquisition (0 = default 32, negative disables batching)")
 	journalCap := flag.Int("journal", 0, "flight-recorder events kept per node lane (0 disables); merged timeline served at /events on the metrics address")
+	leaseTTL := flag.Duration("lease-ttl", 0, "membership lease TTL: portals that stay silent this long lose their session and re-sync on return (0 disables leases)")
 	flag.Parse()
 
 	proto := nn.NewMLP(rand.New(rand.NewSource(*modelSeed)), *dim, *hidden, *classes)
@@ -101,7 +102,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := flnet.ServerOptions{Alpha: *alpha, GobOnly: *gobOnly, IngestBatch: *ingestBatch}
+	opts := flnet.ServerOptions{Alpha: *alpha, GobOnly: *gobOnly, IngestBatch: *ingestBatch, LeaseTTL: *leaseTTL}
 	if *journalCap > 0 {
 		// The server takes lane -1, matching its fleet-trace pid; journaling
 		// portals ship their own lanes in over the telemetry piggyback.
@@ -191,8 +192,13 @@ serveLoop:
 			evalAccuracy.Set(acc)
 			modelVersion.Set(float64(version))
 			totalPushes.Set(float64(server.Pushes()))
-			log.Printf("ecofl-server: v%d (%d pushes), test accuracy %.1f%%",
-				version, server.Pushes(), acc*100)
+			if *leaseTTL > 0 {
+				log.Printf("ecofl-server: v%d (%d pushes), test accuracy %.1f%%, %d live sessions %v",
+					version, server.Pushes(), acc*100, server.SessionCount(), server.Members())
+			} else {
+				log.Printf("ecofl-server: v%d (%d pushes), test accuracy %.1f%%",
+					version, server.Pushes(), acc*100)
+			}
 		}
 	}
 	w, version := server.Snapshot()

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ecofl/internal/device"
+	"ecofl/internal/fl"
+)
+
+// ChurnRow is one point of the churn-survival sweep.
+type ChurnRow struct {
+	OfflinePct   float64 // fraction of each diurnal day the fleet is dark
+	Quorum       float64
+	FinalAcc     float64
+	BestAcc      float64
+	Rounds       int
+	Departures   int
+	Readmissions int
+	FailedRounds int
+}
+
+// ChurnGrid is the sweep grid: diurnal offline fraction crossed with the
+// quorum setting (1.0 = wait for everyone, so any mid-round departure fails
+// the round).
+var (
+	ChurnOfflinePcts = []float64{0, 30, 50}
+	ChurnQuorums     = []float64{1.0, 0.6}
+)
+
+// churnSeedOffset keeps the availability-trace seed lane disjoint from the
+// strategy/dataset seed, so attaching a trace set never perturbs the
+// simulation's own rng draws.
+const churnSeedOffset = 7000
+
+// Churn sweeps diurnal device availability against quorum aggregation on the
+// Eco-FL hierarchical strategy (MNIST, dynamic setting): clients follow
+// seeded day/night traces — vanishing mid-round, sitting out selections,
+// returning later — and the table shows how much accuracy survives as the
+// dark fraction of the day grows, with and without quorum-cut rounds. The
+// membership story behind the lease layer: with re-admission plus a quorum,
+// 50% diurnal churn costs a few points; without them most rounds fail.
+func Churn(seed int64, scale Scale) []ChurnRow {
+	var rows []ChurnRow
+	for _, pct := range ChurnOfflinePcts {
+		for _, q := range ChurnQuorums {
+			cfg := flConfig(seed, scale, 500, true)
+			cfg.Quorum = q
+			if pct > 0 {
+				traces, err := device.Diurnal(seed+churnSeedOffset, scale.Clients, device.DiurnalModel{
+					Period:    scale.Duration / 4,
+					DutyCycle: 1 - pct/100,
+					Horizon:   scale.Duration,
+				})
+				if err != nil {
+					panic(fmt.Sprintf("experiments: diurnal traces: %v", err))
+				}
+				cfg.Churn = traces
+			}
+			pop := BuildPopulation(seed, "mnist", scale, cfg)
+			r := fl.RunHierarchical(pop, fl.HierOptions{Grouping: fl.GroupEcoFL, DynamicRegroup: true})
+			rows = append(rows, ChurnRow{
+				OfflinePct:   pct,
+				Quorum:       q,
+				FinalAcc:     r.FinalAccuracy,
+				BestAcc:      r.BestAccuracy,
+				Rounds:       r.Rounds,
+				Departures:   r.ChurnDepartures,
+				Readmissions: r.Readmissions,
+				FailedRounds: r.QuorumFailures,
+			})
+		}
+	}
+	return rows
+}
+
+// PrintChurn renders the churn-survival table.
+func PrintChurn(w io.Writer, rows []ChurnRow) {
+	fmt.Fprintf(w, "%9s %7s %7s %9s %10s %9s %10s %7s\n",
+		"offline%", "quorum", "rounds", "departed", "readmitted", "failed", "final-acc", "best")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%9.0f %7.2f %7d %9d %10d %9d %10.3f %7.3f\n",
+			r.OfflinePct, r.Quorum, r.Rounds, r.Departures, r.Readmissions, r.FailedRounds, r.FinalAcc, r.BestAcc)
+	}
+}

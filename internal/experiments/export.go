@@ -65,6 +65,17 @@ func DropoutToSeries(rows []DropoutRow) []*trace.Series {
 	return []*trace.Series{s}
 }
 
+// ChurnToSeries exports the churn-survival sweep.
+func ChurnToSeries(rows []ChurnRow) []*trace.Series {
+	s := trace.New("churn_quorum", "offline_pct", "quorum", "rounds",
+		"departures", "readmissions", "failed_rounds", "final_acc", "best_acc")
+	for _, r := range rows {
+		s.Add(r.OfflinePct, r.Quorum, float64(r.Rounds), float64(r.Departures),
+			float64(r.Readmissions), float64(r.FailedRounds), r.FinalAcc, r.BestAcc)
+	}
+	return []*trace.Series{s}
+}
+
 // PanelsToSeries exports Figs. 10/11: per-method epoch times plus each
 // method's accuracy-versus-time curve.
 func PanelsToSeries(panels []Panel) []*trace.Series {

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"ecofl/internal/data"
+	"ecofl/internal/device"
 	"ecofl/internal/metrics"
 	"ecofl/internal/nn"
 	"ecofl/internal/obs"
@@ -46,6 +47,11 @@ type Client struct {
 	MeasuredLatency float64
 	// Dropped marks a client temporarily excluded by Algorithm 1.
 	Dropped bool
+	// Offline marks a client currently outside its availability trace's
+	// online window (Config.Churn). Unlike Dropped — an eviction that only
+	// TryReadmit reverses — Offline clears automatically when the trace
+	// brings the device back.
+	Offline bool
 	// LastLoss is the client's most recent mean training loss — the
 	// statistical-utility signal guided selection uses (Oort-style).
 	LastLoss float64
@@ -132,6 +138,15 @@ type Config struct {
 	// synchronous round.
 	Quorum float64
 
+	// Churn, when non-nil, attaches per-client availability traces
+	// (internal/device) and switches failure from the DropoutProb coin flip
+	// to observed liveness: selection sees only clients whose trace has them
+	// online, a selected client whose trace goes dark before its report
+	// lands departs mid-round, and a returning device is re-admitted. Traces
+	// carry their own seeds, so churn consumes nothing from the strategy's
+	// rng stream — with Churn nil the legacy path is byte-identical.
+	Churn *device.TraceSet
+
 	// MeanDelay/StdDelay parameterize the normal distribution the
 	// original response delays are sampled from.
 	MeanDelay, StdDelay float64
@@ -165,6 +180,8 @@ type runMetrics struct {
 	dropouts  *metrics.Counter
 	discarded *metrics.Counter
 	failed    *metrics.Counter
+	departs   *metrics.Counter
+	readmits  *metrics.Counter
 }
 
 func newRunMetrics(strategy string) *runMetrics {
@@ -184,6 +201,10 @@ func newRunMetrics(strategy string) *runMetrics {
 			"surviving stragglers whose work was discarded by the quorum cut", "strategy", strategy),
 		failed: metrics.GetCounter("ecofl_fl_quorum_failed_rounds_total",
 			"rounds aborted because fewer than the quorum survived", "strategy", strategy),
+		departs: metrics.GetCounter("ecofl_fl_churn_departures_total",
+			"selected clients whose availability trace took them offline mid-round", "strategy", strategy),
+		readmits: metrics.GetCounter("ecofl_fl_readmissions_total",
+			"clients re-admitted to selection after an offline interval", "strategy", strategy),
 	}
 }
 

@@ -2,11 +2,12 @@ package fl
 
 // Graceful degradation under client failure: a synchronous round no longer
 // has to wait for — or even receive — every selected client. Each selected
-// client may drop out with Config.DropoutProb (its work is lost), and the
-// round commits as soon as a Config.Quorum fraction of the selection has
-// reported, aggregating sample-weighted over exactly those fastest
-// reporters. The cut is applied identically by RunFedAvg (to the global
-// round) and RunHierarchical (to each group's intra-group round).
+// client may drop out with Config.DropoutProb (its work is lost) or, when
+// Config.Churn attaches availability traces, depart because its trace goes
+// dark mid-round; the round commits as soon as a Config.Quorum fraction of
+// the selection has reported, aggregating sample-weighted over exactly those
+// fastest reporters. The cut is applied identically by RunFedAvg (to the
+// global round) and RunHierarchical (to each group's intra-group round).
 
 import (
 	"math"
@@ -28,17 +29,20 @@ type roundCut struct {
 	// quorum-completing reporter, or the slowest selected client's latency
 	// when every report is required or the round fails.
 	roundTime float64
-	dropouts  int  // selected clients that dropped out mid-round
+	dropouts  int  // selected clients that dropped out mid-round (coin flip)
+	departed  int  // selected clients whose availability trace went dark mid-round
 	discarded int  // survivors past the quorum whose finished work is discarded
 	failed    bool // fewer than the quorum survived: no aggregation
 }
 
-// cutRound applies cfg.DropoutProb and cfg.Quorum to a selection. Dropout
-// draws are consumed from rng in selection order, and only when DropoutProb
-// is positive — with dropout disabled the random stream is untouched. With
-// both features disabled the cut is the identity: committee == sel in order,
-// roundTime == the slowest selected latency.
-func cutRound(rng *rand.Rand, cfg Config, sel []*Client) roundCut {
+// cutRound applies churn departures, cfg.DropoutProb and cfg.Quorum to a
+// selection dispatched at virtual time now. Departure is read from the
+// availability traces (ch nil means no churn) and consumes no randomness;
+// dropout draws are consumed from rng in selection order, and only when
+// DropoutProb is positive — with dropout disabled the random stream is
+// untouched. With every feature disabled the cut is the identity: committee
+// == sel in order, roundTime == the slowest selected latency.
+func cutRound(rng *rand.Rand, cfg Config, ch *churnState, now float64, sel []*Client) roundCut {
 	cut := roundCut{committee: sel}
 	for _, c := range sel {
 		if l := c.Latency(); l > cut.roundTime {
@@ -50,10 +54,14 @@ func cutRound(rng *rand.Rand, cfg Config, sel []*Client) roundCut {
 	}
 
 	survived := sel
-	if cfg.DropoutProb > 0 {
+	if cfg.DropoutProb > 0 || ch != nil {
 		survived = make([]*Client, 0, len(sel))
 		for _, c := range sel {
-			if rng.Float64() < cfg.DropoutProb {
+			if ch.departs(c, now, now+c.Latency()) {
+				cut.departed++
+				continue
+			}
+			if cfg.DropoutProb > 0 && rng.Float64() < cfg.DropoutProb {
 				cut.dropouts++
 				continue
 			}
@@ -80,7 +88,7 @@ func cutRound(rng *rand.Rand, cfg Config, sel []*Client) roundCut {
 		cut.committee = nil
 		return cut
 	}
-	if cfg.DropoutProb <= 0 && need == len(sel) {
+	if cfg.DropoutProb <= 0 && ch == nil && need == len(sel) {
 		return cut // fully disabled: the identity cut
 	}
 
@@ -115,6 +123,9 @@ func journalCut(rec *journal.Recorder, t float64, round int, cut roundCut) {
 	if cut.dropouts > 0 {
 		rec.RecordAt(t, "fl.dropout", round, journal.None, "count", strconv.Itoa(cut.dropouts))
 	}
+	if cut.departed > 0 {
+		rec.RecordAt(t, "fl.depart", round, journal.None, "count", strconv.Itoa(cut.departed))
+	}
 	if cut.discarded > 0 {
 		rec.RecordAt(t, "fl.quorum-burn", round, journal.None, "discarded", strconv.Itoa(cut.discarded))
 	}
@@ -126,12 +137,14 @@ func journalCut(rec *journal.Recorder, t float64, round int, cut roundCut) {
 // tally folds one cut's casualty counts into the result and its metrics.
 func (r *RunResult) tally(cut roundCut) {
 	r.Dropouts += cut.dropouts
+	r.ChurnDepartures += cut.departed
 	r.QuorumDiscarded += cut.discarded
 	if cut.failed {
 		r.QuorumFailures++
 	}
 	if r.rm != nil {
 		r.rm.dropouts.Add(int64(cut.dropouts))
+		r.rm.departs.Add(int64(cut.departed))
 		r.rm.discarded.Add(int64(cut.discarded))
 		if cut.failed {
 			r.rm.failed.Inc()

@@ -27,7 +27,7 @@ func TestCutRoundDisabledIsIdentity(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	before := rng.Int63()
 	rng = rand.New(rand.NewSource(1))
-	cut := cutRound(rng, Config{}, sel)
+	cut := cutRound(rng, Config{}, nil, 0, sel)
 	if rng.Int63() != before {
 		t.Fatal("disabled cut consumed random draws")
 	}
@@ -52,7 +52,7 @@ func TestCutRoundQuorumCutsStragglers(t *testing.T) {
 	// round, the two slower survivors are discarded, and the round only
 	// lasts as long as the quorum-completing (2nd fastest) reporter.
 	sel := latClients(30, 10, 50, 20)
-	cut := cutRound(rand.New(rand.NewSource(1)), Config{Quorum: 0.5}, sel)
+	cut := cutRound(rand.New(rand.NewSource(1)), Config{Quorum: 0.5}, nil, 0, sel)
 	if cut.failed {
 		t.Fatal("quorum reached, round must not fail")
 	}
@@ -72,7 +72,7 @@ func TestCutRoundCommitteeKeepsSelectionOrder(t *testing.T) {
 	// Committee membership is by latency, but aggregation order is selection
 	// order — here client 2 (latency 5) is fastest yet stays in slot order.
 	sel := latClients(8, 30, 5, 9)
-	cut := cutRound(rand.New(rand.NewSource(1)), Config{Quorum: 0.75}, sel)
+	cut := cutRound(rand.New(rand.NewSource(1)), Config{Quorum: 0.75}, nil, 0, sel)
 	ids := committeeIDs(cut)
 	if len(ids) != 3 || ids[0] != 0 || ids[1] != 2 || ids[2] != 3 {
 		t.Fatalf("committee = %v, want [0 2 3]", ids)
@@ -86,7 +86,7 @@ func TestCutRoundDropoutAndFailure(t *testing.T) {
 	sel := latClients(10, 20, 30, 40)
 	// Certain dropout: everyone drops, any quorum fails, and the round
 	// burns the full window.
-	cut := cutRound(rand.New(rand.NewSource(1)), Config{DropoutProb: 1, Quorum: 0.25}, sel)
+	cut := cutRound(rand.New(rand.NewSource(1)), Config{DropoutProb: 1, Quorum: 0.25}, nil, 0, sel)
 	if !cut.failed || cut.dropouts != 4 || len(cut.committee) != 0 {
 		t.Fatalf("total dropout must fail the round: %+v", cut)
 	}
@@ -94,7 +94,7 @@ func TestCutRoundDropoutAndFailure(t *testing.T) {
 		t.Fatalf("failed round must last the full window: %v", cut.roundTime)
 	}
 	// Zero dropout probability draws nothing and everyone survives.
-	cut = cutRound(rand.New(rand.NewSource(1)), Config{DropoutProb: 0, Quorum: 1}, sel)
+	cut = cutRound(rand.New(rand.NewSource(1)), Config{DropoutProb: 0, Quorum: 1}, nil, 0, sel)
 	if cut.failed || cut.dropouts != 0 || len(cut.committee) != 4 {
 		t.Fatalf("no-dropout full-quorum cut: %+v", cut)
 	}
@@ -105,7 +105,7 @@ func TestCutRoundDropoutSurvivorsFillQuorum(t *testing.T) {
 	// committee of exactly ⌈quorum·selected⌉ when enough remain.
 	sel := latClients(10, 20, 30, 40, 50, 60, 70, 80)
 	rng := rand.New(rand.NewSource(3))
-	cut := cutRound(rng, Config{DropoutProb: 0.3, Quorum: 0.5}, sel)
+	cut := cutRound(rng, Config{DropoutProb: 0.3, Quorum: 0.5}, nil, 0, sel)
 	if cut.failed {
 		t.Fatalf("expected quorum reached: %+v", cut)
 	}

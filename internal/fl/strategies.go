@@ -44,6 +44,11 @@ type RunResult struct {
 	Dropouts        int
 	QuorumDiscarded int
 	QuorumFailures  int
+	// ChurnDepartures counts selected clients whose availability trace took
+	// them offline mid-round (Config.Churn); Readmissions counts offline →
+	// online transitions observed at selection time.
+	ChurnDepartures int
+	Readmissions    int
 
 	// rm are the run's instruments on the metrics Default registry.
 	rm *runMetrics
@@ -93,11 +98,11 @@ func (d *dynamics) advance(rng *rand.Rand, pop *Population, now float64) bool {
 	return changed
 }
 
-// sample draws k distinct non-dropped clients.
+// sample draws k distinct clients that are neither dropped nor offline.
 func sample(rng *rand.Rand, clients []*Client, k int) []*Client {
 	var active []*Client
 	for _, c := range clients {
-		if !c.Dropped {
+		if !c.Dropped && !c.Offline {
 			active = append(active, c)
 		}
 	}
@@ -115,7 +120,7 @@ func sample(rng *rand.Rand, clients []*Client, k int) []*Client {
 func sampleGuided(rng *rand.Rand, clients []*Client, k int, epsilon float64) []*Client {
 	var active []*Client
 	for _, c := range clients {
-		if !c.Dropped {
+		if !c.Dropped && !c.Offline {
 			active = append(active, c)
 		}
 	}
@@ -157,15 +162,23 @@ func RunFedAvg(pop *Population) *RunResult {
 	}
 	w := pop.GlobalInit()
 	dyn := dynamics{next: cfg.DynamicInterval, cfg: cfg}
+	ch := newChurnState(cfg, res)
 	t, lastEval := 0.0, math.Inf(-1)
 	for t < cfg.Duration {
+		ch.sync(t, pop.Clients, res.Rounds)
 		sel := sample(rng, pop.Clients, cfg.MaxConcurrent)
 		if len(sel) == 0 {
-			break
+			if ch == nil {
+				break
+			}
+			// Whole fleet offline: wait out a mean delay, then re-check the
+			// availability traces — the heal loop under churn.
+			t += cfg.MeanDelay
+			continue
 		}
 		cfg.Journal.RecordAt(t, "fl.round-start", res.Rounds, journal.None,
 			"selected", strconv.Itoa(len(sel)))
-		cut := cutRound(rng, cfg, sel)
+		cut := cutRound(rng, cfg, ch, t, sel)
 		res.tally(cut)
 		roundTime := cut.roundTime
 		journalCut(cfg.Journal, t+roundTime, res.Rounds, cut)
@@ -220,14 +233,21 @@ func RunFedAsync(pop *Population) *RunResult {
 	}
 	w := pop.GlobalInit()
 	dyn := dynamics{next: cfg.DynamicInterval, cfg: cfg}
+	ch := newChurnState(cfg, res)
 
 	var eng sim.Engine
 	version := 0
 	lastEval := math.Inf(-1)
 	var dispatch func()
 	dispatch = func() {
+		ch.sync(eng.Now(), pop.Clients, res.Rounds)
 		sel := sample(rng, pop.Clients, 1)
 		if len(sel) == 0 {
+			if ch != nil && eng.Now()+cfg.MeanDelay <= cfg.Duration {
+				// Whole fleet offline: keep this worker slot alive and poll
+				// the availability traces again after a mean delay.
+				eng.Schedule(cfg.MeanDelay, dispatch)
+			}
 			return
 		}
 		c := sel[0]
@@ -239,6 +259,16 @@ func RunFedAsync(pop *Population) *RunResult {
 			return
 		}
 		eng.ScheduleAt(finish, func() {
+			if ch.departs(c, dispatched, finish) {
+				// The trace took the client offline before its update landed:
+				// the work is lost, the worker slot redispatches. No rng is
+				// consumed, matching cutRound's departure semantics.
+				res.ChurnDepartures++
+				res.rm.departs.Inc()
+				cfg.Journal.RecordAt(finish, "fl.depart", res.Rounds, c.ID)
+				dispatch()
+				return
+			}
 			update := pop.LocalTrain(rng, c, snapshot, 0)
 			res.Participation[c.ID]++
 			stale := float64(version - baseVersion)
@@ -369,6 +399,7 @@ func RunHierarchical(pop *Population, opts HierOptions) *RunResult {
 	meanCenter /= float64(len(groups))
 
 	dyn := dynamics{next: cfg.DynamicInterval, cfg: cfg}
+	ch := newChurnState(cfg, res)
 	lastEval := math.Inf(-1)
 	var eng sim.Engine
 	var scheduleRound func(g *Group)
@@ -383,6 +414,7 @@ func RunHierarchical(pop *Population, opts HierOptions) *RunResult {
 			eng.Schedule(cfg.MeanDelay, func() { scheduleRound(g) })
 			return
 		}
+		ch.sync(start, g.Members, res.Rounds)
 		var sel []*Client
 		if opts.GuidedSelection {
 			sel = sampleGuided(rng, g.Members, perGroup, 0.1)
@@ -396,7 +428,7 @@ func RunHierarchical(pop *Population, opts HierOptions) *RunResult {
 		round := res.Rounds
 		cfg.Journal.RecordAt(start, "fl.round-start", round, journal.None,
 			"group", strconv.Itoa(g.ID), "selected", strconv.Itoa(len(sel)))
-		cut := cutRound(rng, cfg, sel)
+		cut := cutRound(rng, cfg, ch, start, sel)
 		res.tally(cut)
 		roundTime := cut.roundTime
 		eng.Schedule(roundTime, func() {

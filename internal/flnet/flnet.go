@@ -117,6 +117,17 @@ type ServerOptions struct {
 	// client journals arriving piggybacked on telemetry are merged into it
 	// on the server clock — the /events timeline. nil disables at ~0 cost.
 	Journal *journal.Fleet
+	// LeaseTTL enables lease-based membership: every client contact grants
+	// or renews a TTL lease, a background reaper expires lapsed ones
+	// (dropping the holder's dedup ack so its next sparse push re-syncs
+	// dense), and a push on an expired lease is rejected with a
+	// recognizable error the client answers by re-syncing (lease.go). 0
+	// disables membership entirely — the pre-lease behaviour.
+	LeaseTTL time.Duration
+	// LeaseNow, when non-nil, replaces wall time as the membership clock —
+	// deterministic lease tests and virtual-time scenario runs inject their
+	// own clock and call ReapExpiredLeases explicitly.
+	LeaseNow func() time.Time
 }
 
 // DefaultTimeout is the default per-round-trip deadline on both ends.
@@ -168,6 +179,13 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	shutdown bool
 
+	// Lease-based membership (lease.go). leaseMu is taken alone, never
+	// inside s.mu; expired leases stay in the map so a returning client is
+	// re-admitted rather than re-granted.
+	leaseMu    sync.Mutex
+	leases     map[int]*lease
+	reaperStop chan struct{}
+
 	mu      sync.Mutex
 	weights []float64
 	version int
@@ -204,6 +222,7 @@ func NewServerOpts(ln net.Listener, init []float64, opts ServerOptions) (*Server
 		weights:      append([]float64(nil), init...),
 		lastSeq:      make(map[int]uint64),
 		lastAck:      make(map[int]reply),
+		leases:       make(map[int]*lease),
 	}
 	s.fleet.journal = opts.Journal
 	if ck := opts.Resume; ck != nil {
@@ -224,6 +243,15 @@ func NewServerOpts(ln net.Listener, init []float64, opts ServerOptions) (*Server
 		s.ingestCh = make(chan *ingestJob, 4*opts.IngestBatch)
 		s.mixerWG.Add(1)
 		go s.mixerLoop()
+	}
+	if opts.LeaseTTL > 0 {
+		interval := opts.LeaseTTL / 4
+		if interval < 10*time.Millisecond {
+			interval = 10 * time.Millisecond
+		}
+		s.reaperStop = make(chan struct{})
+		s.wg.Add(1)
+		go s.reaperLoop(interval)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -288,6 +316,9 @@ func (s *Server) Close() error {
 		conn.Close()
 	}
 	s.connMu.Unlock()
+	if s.reaperStop != nil {
+		close(s.reaperStop)
+	}
 	s.wg.Wait()
 	// All handlers have returned, so nothing can enqueue anymore; drain the
 	// mixer and wait it out.
@@ -443,10 +474,18 @@ func (s *Server) dispatch(req *request, job *ingestJob) reply {
 	switch req.Kind {
 	case "pull":
 		srvRequestsPull.Inc()
+		s.touchLease(req.ClientID)
 		rep.Weights, rep.Version = s.Snapshot()
 	case "push":
 		srvRequestsPush.Inc()
 		countPushPayload(req)
+		if err := s.checkPushLease(req.ClientID); err != nil {
+			// The lease lapsed while the client was away: the check already
+			// re-admitted it, but this push is rejected so the client's
+			// retry lands on the fresh lease after a re-sync.
+			rep.Err = err.Error()
+			break
+		}
 		var applied bool
 		rep, applied = s.submitPush(req, job)
 		if applied {
@@ -454,6 +493,7 @@ func (s *Server) dispatch(req *request, job *ingestJob) reply {
 		}
 	case "telemetry":
 		srvRequestsTelemetry.Inc()
+		s.touchLease(req.ClientID)
 		if req.Telemetry == nil {
 			rep.Err = "flnet: telemetry request carries no snapshot"
 		}
@@ -800,7 +840,7 @@ func (c *Client) Pull() ([]float64, int, error) {
 // applied exactly once even if the original attempt landed and only the
 // acknowledgement was lost.
 func (c *Client) Push(weights []float64, samples, baseVersion int) ([]float64, int, error) {
-	rep, err := c.roundTrip(&request{
+	rep, err := c.pushRoundTrip(&request{
 		Kind: "push", ClientID: c.ID, Weights: weights,
 		NumSamples: samples, BaseVersion: baseVersion,
 	})

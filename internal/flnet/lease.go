@@ -1,0 +1,247 @@
+package flnet
+
+// Lease-based membership: with ServerOptions.LeaseTTL set, every client
+// contact (pull, push, telemetry) grants or renews a TTL lease, a background
+// reaper marks lapsed leases expired, and a push arriving on an expired lease
+// is rejected with a recognizable error — the client re-syncs and retries,
+// mirroring the sparseBaseMismatch discipline. Expiring a lease drops the
+// client's dedup ack (the dense model copy the sparse path overlays), so a
+// returning client's first sparse push takes the dense re-sync path; lastSeq
+// is deliberately kept, so push dedup stays exactly-once across any number of
+// depart/return cycles. Members and SessionCount expose the live membership
+// view a selector (or an operator) reads.
+//
+// Lock ordering: leaseMu is always taken alone and released before s.mu
+// (dropping acks); never take leaseMu while holding s.mu.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ecofl/internal/obs/journal"
+)
+
+// leaseExpired prefixes the rejection of a push from a client whose lease
+// lapsed. The rejection itself re-admits the client (its contact proves it is
+// back), so the client's single transparent retry of the same request — same
+// Seq, the rejected push was never applied — lands on the fresh lease.
+const leaseExpired = "flnet: lease expired"
+
+// lease is one client's membership record. Expired leases stay in the map:
+// the record is what distinguishes a returning client (lease.readmit) from a
+// brand-new one (lease.grant), and it is a few words per client.
+type lease struct {
+	granted time.Time // first contact
+	renewed time.Time // most recent contact
+	expires time.Time // renewed + TTL
+	expired bool
+}
+
+// leaseNow reads the membership clock: wall time by default, the injected
+// ServerOptions.LeaseNow under test or virtual-time scenarios.
+func (s *Server) leaseNow() time.Time {
+	if s.opts.LeaseNow != nil {
+		return s.opts.LeaseNow()
+	}
+	return time.Now()
+}
+
+// grantLeaseLocked admits a first-contact client. Caller holds leaseMu.
+func (s *Server) grantLeaseLocked(id int, now time.Time) {
+	s.leases[id] = &lease{granted: now, renewed: now, expires: now.Add(s.opts.LeaseTTL)}
+	srvLeaseGrants.Inc()
+	srvSessionsActive.Add(1)
+	s.jrec().Record("lease.grant", journal.None, id, "ttl", s.opts.LeaseTTL.String())
+}
+
+// expireLeaseLocked marks a lapsed lease expired. The caller must drop the
+// client's dedup ack after releasing leaseMu (dropAck). Caller holds leaseMu.
+func (s *Server) expireLeaseLocked(id int, l *lease, now time.Time) {
+	l.expired = true
+	srvLeaseExpired.Inc()
+	srvSessionsActive.Add(-1)
+	s.jrec().Record("lease.expire", journal.None, id, "idle", now.Sub(l.renewed).Round(time.Millisecond).String())
+}
+
+// readmitLeaseLocked re-admits a returning client on a fresh TTL. Caller
+// holds leaseMu.
+func (s *Server) readmitLeaseLocked(id int, l *lease, now time.Time) {
+	l.expired = false
+	l.renewed = now
+	l.expires = now.Add(s.opts.LeaseTTL)
+	srvLeaseReadmits.Inc()
+	srvSessionsActive.Add(1)
+	s.jrec().Record("lease.readmit", journal.None, id)
+}
+
+// dropAck discards one client's dedup-window entry after its lease expired:
+// the dense reference copy is freed and the client's next sparse push takes
+// the dense re-sync path. lastSeq is kept so dedup survives the churn.
+func (s *Server) dropAck(id int) {
+	s.mu.Lock()
+	delete(s.lastAck, id)
+	s.mu.Unlock()
+}
+
+// touchLease renews (or grants, or re-admits) a client's lease on a
+// non-push contact — pull and telemetry keep a quiet portal's membership
+// alive between training rounds.
+func (s *Server) touchLease(id int) {
+	if s.opts.LeaseTTL <= 0 {
+		return
+	}
+	now := s.leaseNow()
+	dropAck := false
+	s.leaseMu.Lock()
+	l, ok := s.leases[id]
+	switch {
+	case !ok:
+		s.grantLeaseLocked(id, now)
+	case l.expired:
+		s.readmitLeaseLocked(id, l, now)
+	case now.After(l.expires):
+		// Lapsed but not yet reaped: observe the expiry, then the contact
+		// re-admits — the journal shows the full lifecycle either way.
+		s.expireLeaseLocked(id, l, now)
+		s.readmitLeaseLocked(id, l, now)
+		dropAck = true
+	default:
+		l.renewed = now
+		l.expires = now.Add(s.opts.LeaseTTL)
+		s.jrec().Record("lease.renew", journal.None, id)
+	}
+	s.leaseMu.Unlock()
+	if dropAck {
+		s.dropAck(id)
+	}
+}
+
+// checkPushLease gates a push on the client's lease. A push on a live lease
+// renews it; a push on an expired (or lapsed) lease re-admits the client but
+// rejects this push with leaseExpired — its dedup ack is gone, so the client
+// must re-sync before its update can be trusted, exactly like a sparse base
+// mismatch. The rejection is deterministic and applied before the model is
+// touched, so the retried push (same Seq) is dedup-safe.
+func (s *Server) checkPushLease(id int) error {
+	if s.opts.LeaseTTL <= 0 {
+		return nil
+	}
+	now := s.leaseNow()
+	dropAck := false
+	s.leaseMu.Lock()
+	l, ok := s.leases[id]
+	if !ok {
+		s.grantLeaseLocked(id, now)
+		s.leaseMu.Unlock()
+		return nil
+	}
+	if !l.expired && now.After(l.expires) {
+		s.expireLeaseLocked(id, l, now)
+		dropAck = true
+	}
+	if l.expired {
+		s.readmitLeaseLocked(id, l, now)
+		s.leaseMu.Unlock()
+		if dropAck {
+			s.dropAck(id)
+		}
+		srvLeaseRejectedPushes.Inc()
+		return fmt.Errorf("%s: client %d re-admitted, re-sync and retry", leaseExpired, id)
+	}
+	l.renewed = now
+	l.expires = now.Add(s.opts.LeaseTTL)
+	s.jrec().Record("lease.renew", journal.None, id)
+	s.leaseMu.Unlock()
+	return nil
+}
+
+// ReapExpiredLeases expires every lapsed lease (in ascending client order,
+// so the journal timeline is deterministic) and drops the holders' dedup
+// acks. It returns how many leases expired. The background reaper calls this
+// on a timer; virtual-time harnesses call it directly after advancing their
+// injected clock.
+func (s *Server) ReapExpiredLeases() int {
+	if s.opts.LeaseTTL <= 0 {
+		return 0
+	}
+	now := s.leaseNow()
+	var lapsed []int
+	s.leaseMu.Lock()
+	for id, l := range s.leases {
+		if !l.expired && now.After(l.expires) {
+			lapsed = append(lapsed, id)
+		}
+	}
+	sort.Ints(lapsed)
+	for _, id := range lapsed {
+		s.expireLeaseLocked(id, s.leases[id], now)
+	}
+	s.leaseMu.Unlock()
+	if len(lapsed) > 0 {
+		s.mu.Lock()
+		for _, id := range lapsed {
+			delete(s.lastAck, id)
+		}
+		s.mu.Unlock()
+	}
+	return len(lapsed)
+}
+
+// reaperLoop runs ReapExpiredLeases on a timer until Close.
+func (s *Server) reaperLoop(interval time.Duration) {
+	defer s.wg.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.reaperStop:
+			return
+		case <-tick.C:
+			s.ReapExpiredLeases()
+		}
+	}
+}
+
+// Members returns the client IDs holding a live lease, ascending — the
+// membership view selection reads. Without leases (LeaseTTL 0) it is empty.
+func (s *Server) Members() []int {
+	s.leaseMu.Lock()
+	defer s.leaseMu.Unlock()
+	ids := make([]int, 0, len(s.leases))
+	for id, l := range s.leases {
+		if !l.expired {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// SessionCount returns how many clients hold a live lease.
+func (s *Server) SessionCount() int {
+	s.leaseMu.Lock()
+	defer s.leaseMu.Unlock()
+	n := 0
+	for _, l := range s.leases {
+		if !l.expired {
+			n++
+		}
+	}
+	return n
+}
+
+// pushRoundTrip runs a push round trip, transparently re-syncing once when
+// the server rejects it for an expired lease: the rejection already
+// re-admitted this client, so the identical request — same Seq; the rejected
+// push was never applied — is safe to resend and lands on the fresh lease.
+func (c *Client) pushRoundTrip(req *request) (*reply, error) {
+	rep, err := c.roundTrip(req)
+	if err != nil && strings.Contains(err.Error(), leaseExpired) {
+		cliLeaseResyncs.Inc()
+		c.opts.Journal.Record("lease.readmit", journal.None, c.ID, "err", journalErr(err))
+		return c.roundTrip(req)
+	}
+	return rep, err
+}

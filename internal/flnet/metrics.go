@@ -90,6 +90,22 @@ var (
 	cliPayloadBytesSparse = metrics.GetCounter("ecofl_flnet_client_payload_bytes_total",
 		"logical push payload bytes sent by codec", "codec", "sparse")
 
+	// Lease-based membership instrumentation (lease.go): the live session
+	// gauge and the full lease lifecycle, so /dash shows the fleet breathing
+	// under churn.
+	srvSessionsActive = metrics.GetGauge("ecofl_flnet_sessions_active",
+		"clients currently holding a live membership lease")
+	srvLeaseGrants = metrics.GetCounter("ecofl_flnet_lease_grants_total",
+		"first-contact membership leases granted")
+	srvLeaseExpired = metrics.GetCounter("ecofl_flnet_lease_expired_total",
+		"membership leases expired after their TTL lapsed")
+	srvLeaseReadmits = metrics.GetCounter("ecofl_flnet_lease_readmissions_total",
+		"expired clients re-admitted on a fresh lease")
+	srvLeaseRejectedPushes = metrics.GetCounter("ecofl_flnet_lease_rejected_pushes_total",
+		"pushes rejected because the sender's lease had expired (client re-syncs)")
+	cliLeaseResyncs = metrics.GetCounter("ecofl_flnet_client_lease_resyncs_total",
+		"pushes retried after a lease-expired rejection re-admitted the client")
+
 	cliWireFallbacks = metrics.GetCounter("ecofl_flnet_client_wire_fallbacks_total",
 		"binary hellos rejected, latching the client into gob")
 	cliSparseFallbacks = metrics.GetCounter("ecofl_flnet_client_sparse_fallbacks_total",

@@ -78,7 +78,7 @@ func (q *Quantized) MaxError() float64 { return q.Scale / 2 }
 func (c *Client) PushQuantized(w []float64, samples, baseVersion int) ([]float64, int, error) {
 	c.scratchMu.Lock()
 	defer c.scratchMu.Unlock()
-	rep, err := c.roundTrip(&request{
+	rep, err := c.pushRoundTrip(&request{
 		Kind: "push", ClientID: c.ID, Quant: QuantizeInto(w, &c.qbuf),
 		NumSamples: samples, BaseVersion: baseVersion,
 	})

@@ -49,7 +49,7 @@ func (c *Client) PushDelta(w []float64, samples, baseVersion, topK int) ([]float
 		c.opts.Journal.Record("sparse.resync", baseVersion, c.ID, "reason", "too-dense")
 		return c.Push(w, samples, baseVersion)
 	}
-	rep, err := c.roundTrip(&request{
+	rep, err := c.pushRoundTrip(&request{
 		Kind: "push", ClientID: c.ID,
 		SparseIdx: c.sparseIdx, SparseVals: c.sparseVal, DenseLen: len(w),
 		NumSamples: samples, BaseVersion: refV,

@@ -92,6 +92,7 @@ th { color: var(--muted); font-weight: 600; }
 "use strict";
 // Key fleet signals sort first; everything else follows alphabetically.
 const PIN = ["ecofl_straggler", "ecofl_server_eval_accuracy", "ecofl_fl_eval_accuracy",
+  "ecofl_flnet_sessions_active", "ecofl_flnet_lease_expired_total", "ecofl_fl_readmissions_total",
   "ecofl_node_push_interval_seconds", "ecofl_fl_round_virtual_seconds",
   "ecofl_flnet_server_request_seconds", "ecofl_fl_staleness", "ecofl_fl_group_size",
   "ecofl_runtime_goroutines", "ecofl_runtime_heap_bytes", "ecofl_runtime_gc_pause_p99_seconds"];

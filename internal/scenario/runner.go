@@ -7,8 +7,10 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"sync"
 	"time"
 
+	"ecofl/internal/device"
 	"ecofl/internal/experiments"
 	"ecofl/internal/fl"
 	"ecofl/internal/flnet"
@@ -204,6 +206,57 @@ func flConfigFromSpec(spec *Spec) fl.Config {
 	}
 }
 
+// churnSeedOffset separates the availability-trace seed lane from the
+// scenario's other derived seeds (chaos uses +1000+id, datasets use the seed
+// itself), so attaching churn never perturbs them.
+const churnSeedOffset = 5000
+
+// churnTraces materializes the spec's availability model into one trace per
+// client over the given horizon (virtual seconds). Returns nil when the spec
+// attaches no model.
+func churnTraces(spec *Spec, horizon float64) (*device.TraceSet, error) {
+	c := spec.Churn
+	seed := spec.Seed + churnSeedOffset
+	switch c.Model {
+	case ChurnDiurnal:
+		period := c.PeriodS
+		if period == 0 {
+			period = horizon / 4
+		}
+		return device.Diurnal(seed, spec.Fleet.Clients, device.DiurnalModel{
+			Period: period, DutyCycle: c.DutyCycle, Horizon: horizon,
+		})
+	case ChurnSessions:
+		return device.Sessions(seed, spec.Fleet.Clients, device.SessionModel{
+			MeanOnline: c.MeanOnlineS, MeanOffline: c.MeanOfflineS, Horizon: horizon,
+		})
+	case ChurnTrace:
+		return device.LoadTraceSet(c.TraceFile)
+	}
+	return nil, nil
+}
+
+// leaseClock is the virtual membership clock for flnet scenario runs: the
+// round loop advances it one second per push round, so lease TTLs are
+// expressed in rounds-worth of virtual time and expiry is deterministic
+// regardless of how fast the loopback transport runs.
+type leaseClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (lc *leaseClock) Now() time.Time {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.t
+}
+
+func (lc *leaseClock) Advance(d time.Duration) {
+	lc.mu.Lock()
+	lc.t = lc.t.Add(d)
+	lc.mu.Unlock()
+}
+
 // dataset returns the fleet's dataset preset name.
 func dataset(spec *Spec) string {
 	if spec.Fleet.Dataset == "" {
@@ -218,6 +271,13 @@ func dataset(spec *Spec) string {
 func runFL(spec *Spec, rep *Report, rs *metrics.RuntimeSampler, jn journals) error {
 	cfg := flConfigFromSpec(spec)
 	cfg.Journal = jn.rec
+	if spec.Churn.enabled() {
+		traces, err := churnTraces(spec, cfg.Duration)
+		if err != nil {
+			return err
+		}
+		cfg.Churn = traces
+	}
 	pop := experiments.BuildPopulation(spec.Seed, dataset(spec), scaleFromSpec(spec), cfg)
 	before := snapshotMap(metrics.Default)
 	r, err := fl.RunByName(pop, spec.Agg.Strategy)
@@ -237,6 +297,10 @@ func runFL(spec *Spec, rep *Report, rs *metrics.RuntimeSampler, jn journals) err
 	rep.setMetric("quorum_discarded", float64(r.QuorumDiscarded))
 	rep.setMetric("quorum_failed_rounds", float64(r.QuorumFailures))
 	rep.setMetric("dropped_clients", float64(r.Dropped))
+	if spec.Churn.enabled() {
+		rep.setMetric("churn_departures", float64(r.ChurnDepartures))
+		rep.setMetric("readmissions", float64(r.Readmissions))
+	}
 	if r.AvgJS > 0 || r.AvgLatency > 0 {
 		rep.setMetric("avg_group_js", r.AvgJS)
 		rep.setMetric("avg_group_latency_s", r.AvgLatency)
@@ -281,12 +345,30 @@ func runFLNet(spec *Spec, rep *Report, rs *metrics.RuntimeSampler, jn journals) 
 		alpha = 0.5
 	}
 
+	// Availability traces gate which clients push each round: trace second r
+	// maps to push round r, so a device offline at [10, 20) sits out rounds
+	// 10–19 and its lease (when enabled) lapses on the virtual clock below.
+	traces, err := churnTraces(spec, float64(spec.Run.Rounds))
+	if err != nil {
+		return err
+	}
+
 	before := snapshotMap(metrics.Default)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
-	srv, err := flnet.NewServerOpts(ln, pop.GlobalInit(), flnet.ServerOptions{Alpha: alpha, Journal: jn.fleet})
+	srvOpts := flnet.ServerOptions{Alpha: alpha, Journal: jn.fleet}
+	var clock *leaseClock
+	if ttl := spec.Churn.LeaseTTLS; ttl > 0 {
+		// Lease-based membership on the virtual clock: the round loop advances
+		// it one second per round and reaps, so a client that sits out more
+		// than TTL rounds loses its session and re-syncs on return.
+		clock = &leaseClock{t: time.Unix(0, 0)}
+		srvOpts.LeaseTTL = time.Duration(ttl * float64(time.Second))
+		srvOpts.LeaseNow = clock.Now
+	}
+	srv, err := flnet.NewServerOpts(ln, pop.GlobalInit(), srvOpts)
 	if err != nil {
 		ln.Close()
 		return err
@@ -351,10 +433,17 @@ func runFLNet(spec *Spec, rep *Report, rs *metrics.RuntimeSampler, jn journals) 
 		local[i] = append([]float64(nil), pop.GlobalInit()...)
 	}
 	pushFailures := 0
+	offlineSkips := 0
 	for r := 0; r < spec.Run.Rounds; r++ {
 		t0 := time.Now()
 		for i, cl := range clients {
 			c := pop.Clients[i]
+			if !traces.For(i).OnlineAt(float64(r) + 0.5) {
+				// The device is off this round: it neither trains nor pushes,
+				// and its lease keeps aging toward expiry.
+				offlineSkips++
+				continue
+			}
 			upd := pop.LocalTrain(rng, c, local[i], spec.Agg.Mu)
 			var w []float64
 			var v int
@@ -375,6 +464,10 @@ func runFLNet(spec *Spec, rep *Report, rs *metrics.RuntimeSampler, jn journals) 
 			}
 			local[i] = w
 			baseVer[i] = v
+		}
+		if clock != nil {
+			clock.Advance(time.Second)
+			srv.ReapExpiredLeases()
 		}
 		roundHist.Observe(time.Since(t0).Seconds())
 		rs.Sample()
@@ -409,6 +502,14 @@ func runFLNet(spec *Spec, rep *Report, rs *metrics.RuntimeSampler, jn journals) 
 	rep.setMetric("push_failures", float64(pushFailures))
 	if pushFailures > 0 {
 		rep.warnf("%d pushes failed after retries (chaos outlasted the retry budget)", pushFailures)
+	}
+	if spec.Churn.enabled() {
+		rep.setMetric("offline_skips", float64(offlineSkips))
+	}
+	if clock != nil {
+		rep.setMetric("lease_expired", counterDelta(before, after, "ecofl_flnet_lease_expired_total"))
+		rep.setMetric("lease_resyncs", counterDelta(before, after, "ecofl_flnet_client_lease_resyncs_total"))
+		rep.setMetric("sessions_final", float64(srv.SessionCount()))
 	}
 	rep.setMetric("round_time_p50_s", roundHist.Quantile(0.5))
 	rep.setMetric("round_time_p95_s", roundHist.Quantile(0.95))

@@ -142,6 +142,92 @@ func TestRunRejectsInvalidSpec(t *testing.T) {
 	}
 }
 
+// TestRunFLWithChurn attaches a diurnal availability model to the virtual
+// simulation: the run must survive clients vanishing mid-round and report the
+// churn accounting alongside the usual metrics.
+func TestRunFLWithChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fl churn smoke is not -short")
+	}
+	spec, err := Parse([]byte(`{
+	  "name": "fl-churn",
+	  "topology": "fl",
+	  "seed": 5,
+	  "fleet": {"clients": 8, "dataset_size": 300, "max_concurrent": 4, "local_epochs": 1,
+	            "mean_delay_s": 40, "std_delay_s": 12},
+	  "aggregation": {"strategy": "fedavg", "mu": 0.05, "quorum": 0.6},
+	  "churn": {"model": "diurnal", "duty_cycle": 0.5},
+	  "run": {"duration_s": 300, "eval_interval_s": 60}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"final_accuracy", "rounds", "churn_departures", "readmissions"} {
+		if _, ok := rep.Metrics[name]; !ok {
+			t.Errorf("churn report missing %s (have %v)", name, rep.MetricNames())
+		}
+	}
+	if rep.Metrics["readmissions"] <= 0 {
+		t.Errorf("diurnal churn over 4 day cycles produced no readmissions: %+v", rep.Metrics)
+	}
+	if len(rep.Curve) == 0 {
+		t.Error("churn run has no accuracy curve")
+	}
+}
+
+// TestRunFLNetWithChurnLeases runs the real transport under diurnal churn
+// with lease-based membership: offline clients sit out rounds, their leases
+// expire on the virtual clock, and returning clients re-sync transparently.
+func TestRunFLNetWithChurnLeases(t *testing.T) {
+	spec, err := Parse([]byte(`{
+	  "name": "flnet-churn",
+	  "topology": "flnet",
+	  "seed": 11,
+	  "fleet": {"clients": 3, "dataset_size": 200, "local_epochs": 1},
+	  "aggregation": {"alpha": 0.5},
+	  "wire": {"codec": "raw", "mode": "binary"},
+	  "churn": {"model": "diurnal", "period_s": 8, "duty_cycle": 0.5, "lease_ttl_s": 2},
+	  "run": {"rounds": 12},
+	  "journal": {"enabled": true}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := leakcheck.Baseline()
+	rep, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leakcheck.Check(t, base)
+	for _, name := range []string{"offline_skips", "lease_expired", "lease_resyncs", "sessions_final", "pushes"} {
+		if _, ok := rep.Metrics[name]; !ok {
+			t.Errorf("lease churn report missing %s (have %v)", name, rep.MetricNames())
+		}
+	}
+	if rep.Metrics["offline_skips"] <= 0 {
+		t.Errorf("50%% duty cycle over 12 rounds skipped no pushes: %+v", rep.Metrics)
+	}
+	if rep.Metrics["lease_expired"] <= 0 {
+		t.Errorf("4-round offline stretches never outlived the 2s lease TTL: %+v", rep.Metrics)
+	}
+	if rep.Metrics["push_failures"] > 0 {
+		t.Errorf("lease expiry must re-sync transparently, but %v pushes failed", rep.Metrics["push_failures"])
+	}
+	// Every push that happened is an online push: total slots minus skips.
+	want := 3*12 - rep.Metrics["offline_skips"]
+	if rep.Metrics["pushes"] != want {
+		t.Errorf("pushes = %v, want %v (3 clients x 12 rounds - %v skips)",
+			rep.Metrics["pushes"], want, rep.Metrics["offline_skips"])
+	}
+	if rep.JournalEvents["lease.expire"] == 0 {
+		t.Errorf("journal recorded no lease.expire events: %v", rep.JournalEvents)
+	}
+}
+
 // TestRunFLNetWithChaos: drop-mode chaos on one client's link must not stall
 // the run or corrupt the report; retries are surfaced as metrics.
 func TestRunFLNetWithChaos(t *testing.T) {

@@ -49,10 +49,54 @@ type Spec struct {
 	Agg      AggSpec      `json:"aggregation"`
 	Wire     WireSpec     `json:"wire,omitempty"`
 	Faults   []FaultSpec  `json:"faults,omitempty"`
+	Churn    ChurnSpec    `json:"churn,omitempty"`
 	Run      RunSpec      `json:"run"`
 	Pipeline PipelineSpec `json:"pipeline,omitempty"`
 	Journal  JournalSpec  `json:"journal,omitempty"`
 }
+
+// Churn model names accepted by ChurnSpec.Model.
+const (
+	// ChurnDiurnal generates per-device day/night on/off traces
+	// (device.Diurnal).
+	ChurnDiurnal = "diurnal"
+	// ChurnSessions generates exponential session-length traces
+	// (device.Sessions).
+	ChurnSessions = "sessions"
+	// ChurnTrace replays a recorded trace file (device.LoadTraceSet).
+	ChurnTrace = "trace"
+)
+
+// ChurnSpec attaches device availability to the run: clients come and go on
+// seeded availability traces (internal/device) instead of being always-on.
+// In the fl topology traces drive mid-round departures, re-admission and
+// quorum accounting; in the flnet topology they gate which clients push each
+// round, and LeaseTTLS adds lease-based membership on the server (expired
+// leases are reaped between rounds, forcing returning clients through the
+// re-sync path). The zero value disables churn entirely.
+type ChurnSpec struct {
+	// Model selects the availability model: diurnal, sessions, or trace.
+	// Empty disables churn.
+	Model string `json:"model,omitempty"`
+	// PeriodS / DutyCycle parameterize the diurnal model: each device is
+	// online for DutyCycle of every PeriodS-second day, phase-shifted per
+	// device. PeriodS 0 means a quarter of the run horizon.
+	PeriodS   float64 `json:"period_s,omitempty"`
+	DutyCycle float64 `json:"duty_cycle,omitempty"`
+	// MeanOnlineS / MeanOfflineS parameterize the sessions model
+	// (exponential session and gap lengths, virtual seconds).
+	MeanOnlineS  float64 `json:"mean_online_s,omitempty"`
+	MeanOfflineS float64 `json:"mean_offline_s,omitempty"`
+	// TraceFile is the recorded trace set to replay (trace model).
+	TraceFile string `json:"trace_file,omitempty"`
+	// LeaseTTLS enables lease-based membership on the flnet server with the
+	// given TTL in virtual seconds (each push round advances the membership
+	// clock one second). 0 leaves membership off.
+	LeaseTTLS float64 `json:"lease_ttl_s,omitempty"`
+}
+
+// enabled reports whether the spec attaches any availability model.
+func (c ChurnSpec) enabled() bool { return c.Model != "" }
 
 // JournalSpec attaches the flight recorder (internal/obs/journal) to the
 // run: every fault-path decision is journaled, the report gains an
@@ -215,6 +259,9 @@ func (s *Spec) Validate() error {
 			return err
 		}
 	}
+	if err := s.Churn.validate(s.Topology); err != nil {
+		return err
+	}
 	if err := s.Run.validate(s.Topology); err != nil {
 		return err
 	}
@@ -317,6 +364,47 @@ func (f FaultSpec) validate(i int) error {
 		if id < 0 {
 			return fmt.Errorf("faults[%d].clients contains negative id %d", i, id)
 		}
+	}
+	return nil
+}
+
+func (c ChurnSpec) validate(topology string) error {
+	switch c.Model {
+	case "":
+		if c.LeaseTTLS < 0 {
+			return fmt.Errorf("churn.lease_ttl_s must not be negative (got %g)", c.LeaseTTLS)
+		}
+		return nil
+	case ChurnDiurnal, ChurnSessions, ChurnTrace:
+	default:
+		return fmt.Errorf("unknown churn.model %q (diurnal, sessions, trace)", c.Model)
+	}
+	if topology == TopologyPipeline {
+		return fmt.Errorf("churn is not supported on the pipeline topology")
+	}
+	if c.PeriodS < 0 {
+		return fmt.Errorf("churn.period_s must not be negative (got %g)", c.PeriodS)
+	}
+	if c.DutyCycle < 0 || c.DutyCycle > 1 {
+		return fmt.Errorf("churn.duty_cycle must be in [0, 1] (got %g)", c.DutyCycle)
+	}
+	if c.Model == ChurnDiurnal && c.DutyCycle == 0 {
+		return fmt.Errorf("churn.duty_cycle must be positive for the diurnal model")
+	}
+	if c.MeanOnlineS < 0 || c.MeanOfflineS < 0 {
+		return fmt.Errorf("churn session means must not be negative (online %g, offline %g)", c.MeanOnlineS, c.MeanOfflineS)
+	}
+	if c.Model == ChurnSessions && (c.MeanOnlineS == 0 || c.MeanOfflineS == 0) {
+		return fmt.Errorf("churn.mean_online_s and churn.mean_offline_s must be positive for the sessions model")
+	}
+	if c.Model == ChurnTrace && c.TraceFile == "" {
+		return fmt.Errorf("churn.trace_file must be set for the trace model")
+	}
+	if c.Model != ChurnTrace && c.TraceFile != "" {
+		return fmt.Errorf("churn.trace_file is only valid with the trace model (got model %q)", c.Model)
+	}
+	if c.LeaseTTLS < 0 {
+		return fmt.Errorf("churn.lease_ttl_s must not be negative (got %g)", c.LeaseTTLS)
 	}
 	return nil
 }

@@ -1,0 +1,124 @@
+package simnet
+
+// Churn injection: a ChurnGate makes one device's link follow an
+// availability trace (internal/device) on the wall clock — while the trace
+// says the device is offline, writes and reads fail and new dials are
+// refused, exactly as a phone that left Wi-Fi looks to the server. The gate
+// shares the Chaos wrapper's shape (one shared state per link, Wrap every
+// connection including reconnects) so soaks compose it with fault injection:
+// chaos models a bad network, churn models an absent device.
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"ecofl/internal/device"
+	"ecofl/internal/obs/journal"
+)
+
+// ErrOffline is returned by reads, writes and dials while the device's
+// availability trace has it offline.
+var ErrOffline = errors.New("simnet: device offline (availability trace)")
+
+// ChurnGate gates one device's connections on an availability trace. The
+// trace's virtual seconds are mapped onto the wall clock at Scale per virtual
+// second, anchored at the gate's creation, so one JSON trace drives both a
+// virtual-time simulation and a compressed real-transport soak.
+type ChurnGate struct {
+	trace *device.AvailabilityTrace
+	scale time.Duration
+	start time.Time
+
+	mu      sync.Mutex
+	journal *journal.Recorder
+	link    int
+	wasOn   bool
+}
+
+// NewChurnGate anchors a trace to the wall clock. scale is the real duration
+// of one virtual second (e.g. 10ms compresses an hour-long trace into 36s of
+// soak); it must be positive. A nil trace gates nothing (always online).
+func NewChurnGate(tr *device.AvailabilityTrace, scale time.Duration) *ChurnGate {
+	if scale <= 0 {
+		scale = time.Second
+	}
+	return &ChurnGate{trace: tr, scale: scale, start: time.Now(), wasOn: true}
+}
+
+// SetJournal attaches a flight recorder: each offline→online and
+// online→offline edge observed by traffic logs a "churn.offline" or
+// "churn.online" event tagged with the link id. A nil recorder detaches.
+func (g *ChurnGate) SetJournal(rec *journal.Recorder, link int) {
+	g.mu.Lock()
+	g.journal = rec
+	g.link = link
+	g.mu.Unlock()
+}
+
+// OnlineAt reports the trace state at an elapsed wall duration since the
+// gate was anchored.
+func (g *ChurnGate) OnlineAt(elapsed time.Duration) bool {
+	return g.trace.OnlineAt(elapsed.Seconds() / g.scale.Seconds())
+}
+
+// Online reports the device's current state, journaling state edges.
+func (g *ChurnGate) Online() bool {
+	on := g.OnlineAt(time.Since(g.start))
+	g.mu.Lock()
+	if on != g.wasOn {
+		g.wasOn = on
+		kind := "churn.offline"
+		if on {
+			kind = "churn.online"
+		}
+		g.journal.Record(kind, journal.None, g.link)
+	}
+	g.mu.Unlock()
+	return on
+}
+
+// Wrap returns conn gated on the device's availability.
+func (g *ChurnGate) Wrap(conn net.Conn) net.Conn {
+	return &gatedConn{Conn: conn, gate: g}
+}
+
+// Dialer wraps a dial function so reconnects respect the trace: dials fail
+// with ErrOffline while the device is offline, and every successful
+// connection is Wrap'ed.
+func (g *ChurnGate) Dialer(base func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	if base == nil {
+		base = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	return func(addr string) (net.Conn, error) {
+		if !g.Online() {
+			return nil, ErrOffline
+		}
+		conn, err := base(addr)
+		if err != nil {
+			return nil, err
+		}
+		return g.Wrap(conn), nil
+	}
+}
+
+// gatedConn is one connection of a churning device.
+type gatedConn struct {
+	net.Conn
+	gate *ChurnGate
+}
+
+func (c *gatedConn) Write(b []byte) (int, error) {
+	if !c.gate.Online() {
+		return 0, ErrOffline
+	}
+	return c.Conn.Write(b)
+}
+
+func (c *gatedConn) Read(b []byte) (int, error) {
+	if !c.gate.Online() {
+		return 0, ErrOffline
+	}
+	return c.Conn.Read(b)
+}

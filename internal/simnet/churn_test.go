@@ -1,0 +1,111 @@
+package simnet
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"ecofl/internal/device"
+	"ecofl/internal/obs/journal"
+)
+
+func churnTrace(t *testing.T, sessions []device.Session) *device.AvailabilityTrace {
+	t.Helper()
+	tr, err := device.NewAvailabilityTrace(sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestChurnGateFollowsTrace(t *testing.T) {
+	// Online for virtual [0,10), offline [10,20), online [20,30).
+	tr := churnTrace(t, []device.Session{{Start: 0, End: 10}, {Start: 20, End: 30}})
+	g := NewChurnGate(tr, time.Second)
+	for _, tc := range []struct {
+		elapsed time.Duration
+		want    bool
+	}{
+		{0, true}, {9 * time.Second, true}, {10 * time.Second, false},
+		{15 * time.Second, false}, {20 * time.Second, true}, {30 * time.Second, false},
+	} {
+		if got := g.OnlineAt(tc.elapsed); got != tc.want {
+			t.Errorf("OnlineAt(%v) = %v, want %v", tc.elapsed, got, tc.want)
+		}
+	}
+	// A 10ms scale compresses the same trace 100×.
+	fast := NewChurnGate(tr, 10*time.Millisecond)
+	if !fast.OnlineAt(50 * time.Millisecond) {
+		t.Error("scaled gate should be online at 5 virtual seconds")
+	}
+	if fast.OnlineAt(150 * time.Millisecond) {
+		t.Error("scaled gate should be offline at 15 virtual seconds")
+	}
+}
+
+func TestChurnGateNilTraceAlwaysOnline(t *testing.T) {
+	g := NewChurnGate(nil, time.Millisecond)
+	if !g.Online() || !g.OnlineAt(time.Hour) {
+		t.Error("nil trace must never gate")
+	}
+}
+
+// TestChurnGateBlocksTraffic wires a gated connection pair and checks that
+// traffic fails with ErrOffline once the trace goes dark, and that dials
+// through the gate's Dialer are refused while offline.
+func TestChurnGateBlocksTraffic(t *testing.T) {
+	// Offline from the start: the trace has no session at time zero.
+	tr := churnTrace(t, []device.Session{{Start: 3600, End: 7200}})
+	g := NewChurnGate(tr, time.Second)
+	rec := journal.New(0, 16)
+	g.SetJournal(rec, 5)
+
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	gated := g.Wrap(client)
+	if _, err := gated.Write([]byte("x")); err != ErrOffline {
+		t.Fatalf("write while offline = %v, want ErrOffline", err)
+	}
+	if _, err := gated.Read(make([]byte, 1)); err != ErrOffline {
+		t.Fatalf("read while offline = %v, want ErrOffline", err)
+	}
+	dial := g.Dialer(func(addr string) (net.Conn, error) { return client, nil })
+	if _, err := dial("ignored"); err != ErrOffline {
+		t.Fatalf("dial while offline = %v, want ErrOffline", err)
+	}
+	// The gate started wasOn=true, so the first offline observation logs an
+	// edge event.
+	var sawEdge bool
+	for _, e := range rec.Events() {
+		if e.Kind == "churn.offline" && e.Client == 5 {
+			sawEdge = true
+		}
+	}
+	if !sawEdge {
+		t.Error("offline edge not journaled")
+	}
+}
+
+// TestChurnGatePassesTrafficWhileOnline pins the transparent path.
+func TestChurnGatePassesTrafficWhileOnline(t *testing.T) {
+	tr := churnTrace(t, []device.Session{{Start: 0, End: 3600}})
+	g := NewChurnGate(tr, time.Second)
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	gated := g.Wrap(client)
+
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 5)
+		_, err := server.Read(buf)
+		done <- err
+	}()
+	if _, err := gated.Write([]byte("hello")); err != nil {
+		t.Fatalf("write while online: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("peer read: %v", err)
+	}
+}

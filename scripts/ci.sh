@@ -24,7 +24,8 @@ go test ./...
 # frame codecs) alongside the mixed-wire interop and codec chaos soaks.
 go test -race -short ./internal/tensor/... ./internal/fl/... \
 	./internal/metrics/... ./internal/obs/... ./internal/adaptive/... \
-	./internal/flnet/... ./internal/simnet/... ./internal/pipeline/runtime/...
+	./internal/flnet/... ./internal/simnet/... ./internal/device/... \
+	./internal/scenario/... ./internal/pipeline/runtime/...
 
 # Scenario-harness smoke: one tiny loopback federation through the real
 # transport, end to end — spec loading, the runner, report emission. Finishes
@@ -33,3 +34,11 @@ go run ./cmd/ecofl bench --scenario examples/scenarios/smoke.json \
 	--out /tmp/ecofl_ci_smoke.json >/dev/null
 rm -f /tmp/ecofl_ci_smoke.json
 echo "scenario smoke: ok"
+
+# Churn smoke: the 50% diurnal-churn soak through the declarative harness —
+# availability traces, mid-round departures, re-admission and quorum cuts,
+# with the flight recorder on. Proves the membership machinery end to end.
+go run ./cmd/ecofl bench --scenario examples/scenarios/churn50.json \
+	--out /tmp/ecofl_ci_churn.json >/dev/null
+rm -f /tmp/ecofl_ci_churn.json
+echo "churn smoke: ok"
