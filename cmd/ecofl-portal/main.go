@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"ecofl/internal/data"
+	"ecofl/internal/fl"
 	"ecofl/internal/flnet"
 	"ecofl/internal/model"
 	"ecofl/internal/nn"
@@ -51,6 +52,8 @@ func main() {
 	journalCap := flag.Int("journal", 0, "flight-recorder events kept (0 disables); with --telemetry the lane ships to the server's /events timeline")
 	napAfter := flag.Int("nap-after", 0, "go dark after this many rounds (0 disables) — churn drill for a lease-running server")
 	napFor := flag.Duration("nap-for", 0, "how long to stay dark at the --nap-after point")
+	adversary := flag.String("adversary", "", "act as a compromised portal: corrupt every update before pushing (sign-flip, noise, zero, nan, drift; empty disables) — defense drill for a norm-gated server")
+	advScale := flag.Float64("adv-scale", 0, "corruption gain for --adversary (0 = mode default)")
 	flag.Parse()
 
 	if *id < 0 || *id >= *of {
@@ -129,6 +132,25 @@ func main() {
 		log.Printf("ecofl-portal %d: telemetry enabled (flush every %v)", *id, *telemetryEvery)
 	}
 
+	// A compromised portal trains honestly, then corrupts the trained update
+	// against the round's pulled base right before it hits the wire — the
+	// same seeded corruption modes the simulation injects, here exercising a
+	// real server's ingest gate end to end.
+	var advPlan *fl.AdversaryPlan
+	if *adversary != "" {
+		a := &fl.Adversary{
+			Fraction: 1,
+			Mode:     *adversary,
+			Scale:    *advScale,
+			Seed:     int64(9000 + *id),
+		}
+		if err := a.Validate(); err != nil {
+			log.Fatalf("ecofl-portal: %v", err)
+		}
+		advPlan = a.Plan(1)
+		log.Printf("ecofl-portal %d: ADVERSARY mode %s (scale %g) — corrupting every push", *id, *adversary, *advScale)
+	}
+
 	w, version, err := client.Pull()
 	if err != nil {
 		log.Fatal(err)
@@ -157,13 +179,17 @@ func main() {
 				n++
 			}
 		}
+		upd := pipe.Network().FlatWeights()
+		if advPlan != nil {
+			advPlan.Corrupt(0, w, upd)
+		}
 		switch {
 		case *sparseTopK > 0:
-			w, version, err = client.PushDelta(pipe.Network().FlatWeights(), shard.Len(), version, *sparseTopK)
+			w, version, err = client.PushDelta(upd, shard.Len(), version, *sparseTopK)
 		case *quantize:
-			w, version, err = client.PushQuantized(pipe.Network().FlatWeights(), shard.Len(), version)
+			w, version, err = client.PushQuantized(upd, shard.Len(), version)
 		default:
-			w, version, err = client.Push(pipe.Network().FlatWeights(), shard.Len(), version)
+			w, version, err = client.Push(upd, shard.Len(), version)
 		}
 		if err != nil {
 			log.Fatal(err)

@@ -91,6 +91,9 @@ func main() {
 	ingestBatch := flag.Int("ingest-batch", 0, "max pushes mixed per model-lock acquisition (0 = default 32, negative disables batching)")
 	journalCap := flag.Int("journal", 0, "flight-recorder events kept per node lane (0 disables); merged timeline served at /events on the metrics address")
 	leaseTTL := flag.Duration("lease-ttl", 0, "membership lease TTL: portals that stay silent this long lose their session and re-sync on return (0 disables leases)")
+	normGate := flag.Bool("norm-gate", false, "quarantine pushes whose update norm is an outlier against the trailing honest distribution (non-finite pushes are always quarantined)")
+	normGateK := flag.Float64("norm-gate-k", 0, "norm-gate sensitivity: threshold = median + k·MAD of recent accepted push norms (0 = default 6)")
+	normGateWarmup := flag.Int("norm-gate-warmup", 0, "accepted pushes observed before the norm gate arms (0 = default 16)")
 	flag.Parse()
 
 	proto := nn.NewMLP(rand.New(rand.NewSource(*modelSeed)), *dim, *hidden, *classes)
@@ -102,7 +105,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := flnet.ServerOptions{Alpha: *alpha, GobOnly: *gobOnly, IngestBatch: *ingestBatch, LeaseTTL: *leaseTTL}
+	opts := flnet.ServerOptions{Alpha: *alpha, GobOnly: *gobOnly, IngestBatch: *ingestBatch, LeaseTTL: *leaseTTL,
+		NormGate: *normGate, NormGateK: *normGateK, NormGateWarmup: *normGateWarmup}
 	if *journalCap > 0 {
 		// The server takes lane -1, matching its fleet-trace pid; journaling
 		// portals ship their own lanes in over the telemetry piggyback.

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ecofl fl --experiment {fig7|fig8|fig9|dropout|churn} [--scale quick|full] [--seed N]
+//	ecofl fl --experiment {fig7|fig8|fig9|dropout|churn|byzantine} [--scale quick|full] [--seed N]
 //	ecofl pipeline --experiment {fig5|fig10|fig11|fig12|fig13|table2|failover}
 //	ecofl pipeline --experiment failover --chaos sever --chaos-prob 0.03 --fail-stage 1 --fail-round 3
 //	ecofl pipeline --show-schedule     # Fig. 3-style 1F1B-Sync Gantt chart
@@ -206,7 +206,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: ecofl <command> [flags]
 
 commands:
-  fl         --experiment {fig7|fig8|fig9|dropout|churn} [--scale quick|full] [--seed N]
+  fl         --experiment {fig7|fig8|fig9|dropout|churn|byzantine} [--scale quick|full] [--seed N]
   pipeline   --experiment {fig5|fig10|fig11|fig12|fig13|table2|failover} | --show-schedule
   partition  --model {effnet-bN|mobilenet-wX} --devices A,B,C [--mbs N] [--m M]
   headlines  [--scale quick|full]
@@ -229,7 +229,7 @@ func scaleByName(name string) experiments.Scale {
 
 func cmdFL(args []string) error {
 	fs := flag.NewFlagSet("fl", flag.ExitOnError)
-	exp := fs.String("experiment", "fig7", "fig7, fig8, fig9, dropout or churn")
+	exp := fs.String("experiment", "fig7", "fig7, fig8, fig9, dropout, churn or byzantine")
 	scale := fs.String("scale", "quick", "quick or full")
 	seed := fs.Int64("seed", 1, "random seed")
 	csvDir := fs.String("csv", "", "directory for CSV export (optional)")
@@ -278,6 +278,10 @@ func cmdFL(args []string) error {
 		rows := experiments.Churn(*seed, sc)
 		experiments.PrintChurn(os.Stdout, rows)
 		return writeCSV(*csvDir, experiments.ChurnToSeries(rows))
+	case "byzantine":
+		rows := experiments.Byzantine(*seed, sc)
+		experiments.PrintByzantine(os.Stdout, rows)
+		return writeCSV(*csvDir, experiments.ByzantineToSeries(rows))
 	default:
 		return fmt.Errorf("unknown fl experiment %q", *exp)
 	}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"ecofl/internal/data"
+	"ecofl/internal/fl"
+	"ecofl/internal/fl/robust"
+)
+
+// ByzantineRow is one point of the Byzantine-resilience sweep.
+type ByzantineRow struct {
+	Fraction  float64 // fraction of the fleet compromised
+	Defense   string  // in-group aggregator name
+	FinalAcc  float64
+	BestAcc   float64
+	Rounds    int
+	Corrupted int // updates the adversary corrupted
+}
+
+// ByzantineGrid is the sweep grid: compromised fraction crossed with the
+// in-group mixer ("mean" is the undefended legacy weighted average).
+var (
+	ByzantineFractions = []float64{0, 0.1, 0.3}
+	ByzantineDefenses  = []string{"mean", "median", "trimmed"}
+)
+
+// byzantineSignFlipScale makes 30% sign-flippers overpower an undefended
+// mean: the attack reverses training direction once fraction·scale exceeds
+// the honest weight (0.3·4 > 0.7).
+const byzantineSignFlipScale = 4
+
+// byzantinePopulation shards the dataset evenly across classes instead of
+// BuildPopulation's 2-classes-per-client skew. Robust mixers aggregate
+// coordinate-wise statistics, so they need honest committee members to
+// broadly agree per coordinate; under the extreme paper partition a class's
+// classifier rows get real gradient from only ~2 committee members and the
+// median suppresses that minority signal even with zero attackers. The sweep
+// therefore evaluates the defenses inside their contract — the robustness
+// story, not the heterogeneity story.
+func byzantinePopulation(seed int64, dataset string, scale Scale, cfg fl.Config) *fl.Population {
+	rng := rand.New(rand.NewSource(seed))
+	ds := data.MNISTLike(rng, scale.DatasetSize)
+	_, test := ds.Split(0.85)
+	shards := data.PartitionByClasses(rng, ds, scale.Clients, ds.NumClasses)
+	tx, ty := test.Materialize()
+	return fl.NewPopulation(rng, shards, tx, ty, cfg)
+}
+
+// Byzantine sweeps the compromised fraction against the in-group mixer on
+// the Eco-FL hierarchical strategy (MNIST, dynamic setting): a seeded subset
+// of clients sign-flips every update at 4× gain, and the table shows how
+// much accuracy each defense preserves. Two groups keep attackers a
+// per-committee minority at 30% — the regime robust statistics are
+// guaranteed for; shrink the groups and any mixer breaks by construction.
+func Byzantine(seed int64, scale Scale) []ByzantineRow {
+	var rows []ByzantineRow
+	for _, f := range ByzantineFractions {
+		for _, name := range ByzantineDefenses {
+			cfg := flConfig(seed, scale, 500, true)
+			cfg.NumGroups = 2
+			// Full-group committees: sampling 10 of 20 members at f=0.3
+			// regularly draws attacker-majority rounds, which no robust
+			// mixer survives; committing the whole group keeps attackers at
+			// the global fraction every round.
+			cfg.MaxConcurrent = scale.Clients
+			if f > 0 {
+				cfg.Adversary = &fl.Adversary{
+					Fraction: f,
+					Mode:     fl.AdvSignFlip,
+					Scale:    byzantineSignFlipScale,
+				}
+			}
+			if name != "mean" {
+				// Trim matched to the attack budget: each tail sheds at
+				// least the compromised fraction of the committee.
+				agg, err := robust.ByName(name, 0.3)
+				if err != nil {
+					panic(fmt.Sprintf("experiments: byzantine defense: %v", err))
+				}
+				cfg.Robust = agg
+			}
+			pop := byzantinePopulation(seed, "mnist", scale, cfg)
+			r := fl.RunHierarchical(pop, fl.HierOptions{Grouping: fl.GroupEcoFL, DynamicRegroup: true})
+			rows = append(rows, ByzantineRow{
+				Fraction:  f,
+				Defense:   name,
+				FinalAcc:  r.FinalAccuracy,
+				BestAcc:   r.BestAccuracy,
+				Rounds:    r.Rounds,
+				Corrupted: r.Corrupted,
+			})
+		}
+	}
+	return rows
+}
+
+// PrintByzantine renders the Byzantine-resilience table.
+func PrintByzantine(w io.Writer, rows []ByzantineRow) {
+	fmt.Fprintf(w, "%9s %9s %7s %10s %10s %7s\n",
+		"fraction", "defense", "rounds", "corrupted", "final-acc", "best")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%9.2f %9s %7d %10d %10.3f %7.3f\n",
+			r.Fraction, r.Defense, r.Rounds, r.Corrupted, r.FinalAcc, r.BestAcc)
+	}
+}

@@ -76,6 +76,25 @@ func ChurnToSeries(rows []ChurnRow) []*trace.Series {
 	return []*trace.Series{s}
 }
 
+// ByzantineToSeries exports the Byzantine-resilience sweep. The defense is
+// encoded as its grid index (the CSV layer carries floats); the printed
+// table keeps the names.
+func ByzantineToSeries(rows []ByzantineRow) []*trace.Series {
+	s := trace.New("byzantine_defense", "fraction", "defense_idx", "rounds",
+		"corrupted", "final_acc", "best_acc")
+	for _, r := range rows {
+		idx := -1.0
+		for i, name := range ByzantineDefenses {
+			if name == r.Defense {
+				idx = float64(i)
+			}
+		}
+		s.Add(r.Fraction, idx, float64(r.Rounds),
+			float64(r.Corrupted), r.FinalAcc, r.BestAcc)
+	}
+	return []*trace.Series{s}
+}
+
 // PanelsToSeries exports Figs. 10/11: per-method epoch times plus each
 // method's accuracy-versus-time curve.
 func PanelsToSeries(panels []Panel) []*trace.Series {

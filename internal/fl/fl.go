@@ -15,6 +15,7 @@ import (
 
 	"ecofl/internal/data"
 	"ecofl/internal/device"
+	"ecofl/internal/fl/robust"
 	"ecofl/internal/metrics"
 	"ecofl/internal/nn"
 	"ecofl/internal/obs"
@@ -138,6 +139,23 @@ type Config struct {
 	// synchronous round.
 	Quorum float64
 
+	// Robust, when non-nil, replaces the sample-weighted mean of every
+	// synchronous aggregation step (FedAvg commits, hierarchical in-group
+	// FedProx rounds) with a Byzantine-resilient mixer, and arms a
+	// staleness-aware norm clip on the FedAsync mixing path. nil keeps the
+	// legacy WeightedAverage arithmetic — byte-identical curves, pinned by
+	// test. robust.Mean is the interface-shaped twin of that legacy path
+	// and is likewise bit-identical.
+	Robust robust.Aggregator
+	// Adversary, when non-nil with Fraction > 0, compromises a seeded
+	// fraction of the fleet: every update a compromised client reports is
+	// corrupted (sign-flip, noise, zero, NaN, drift) before aggregation
+	// sees it. The adversary draws from its own seed lane, so attaching
+	// one with Fraction 0 — or detaching it — leaves honest curves
+	// byte-identical. Corruptions are journaled as "adv.corrupt" and
+	// counted in RunResult.Corrupted.
+	Adversary *Adversary
+
 	// Churn, when non-nil, attaches per-client availability traces
 	// (internal/device) and switches failure from the DropoutProb coin flip
 	// to observed liveness: selection sees only clients whose trace has them
@@ -182,6 +200,7 @@ type runMetrics struct {
 	failed    *metrics.Counter
 	departs   *metrics.Counter
 	readmits  *metrics.Counter
+	clips     *metrics.Counter
 }
 
 func newRunMetrics(strategy string) *runMetrics {
@@ -205,6 +224,8 @@ func newRunMetrics(strategy string) *runMetrics {
 			"selected clients whose availability trace took them offline mid-round", "strategy", strategy),
 		readmits: metrics.GetCounter("ecofl_fl_readmissions_total",
 			"clients re-admitted to selection after an offline interval", "strategy", strategy),
+		clips: metrics.GetCounter("ecofl_fl_async_norm_clips_total",
+			"async mix-ins bounded by the staleness-aware norm clip", "strategy", strategy),
 	}
 }
 
@@ -254,7 +275,46 @@ type Population struct {
 	TestY   []int
 	Proto   *nn.Network // architecture template; weights are the seed init
 	Config  Config
+
+	adv     *AdversaryPlan
+	advOnce sync.Once
 }
+
+// adversary lazily materializes the configured adversary plan over the
+// fleet (nil — a total nop — when no adversary is configured). The plan is
+// built once so drift state and corruption counts span the whole run.
+func (p *Population) adversary() *AdversaryPlan {
+	p.advOnce.Do(func() {
+		a := p.Config.Adversary
+		if a == nil || a.Fraction <= 0 {
+			return
+		}
+		if a.Seed == 0 {
+			withSeed := *a
+			withSeed.Seed = p.Config.Seed + advSeedOffset
+			a = &withSeed
+		}
+		p.adv = a.Plan(len(p.Clients))
+	})
+	return p.adv
+}
+
+// corrupt routes one client's trained update through the adversary plan,
+// journaling corruptions as "adv.corrupt". Callers serialize (strategies
+// corrupt after the parallel training fan-in).
+func (p *Population) corrupt(c *Client, ref, update []float64) {
+	plan := p.adversary()
+	if plan == nil {
+		return
+	}
+	if plan.Corrupt(c.ID, ref, update) {
+		p.Config.Journal.Record("adv.corrupt", journal.None, c.ID, "mode", plan.Mode())
+	}
+}
+
+// Corruptions reports how many updates the configured adversary has
+// corrupted so far in this population's run (0 without an adversary).
+func (p *Population) Corruptions() int { return p.adversary().Corruptions() }
 
 // NewPopulation builds clients from pre-partitioned shards with a default
 // MLP global model, sampling each client's base delay from
@@ -386,7 +446,9 @@ func (p *Population) trainPlanned(c *Client, ref []float64, mu float64, batches 
 // baselines pass 0, hierarchical strategies pass Config.Mu. It returns the
 // updated weights; the client's sample count is Train.Len().
 func (p *Population) LocalTrain(rng *rand.Rand, c *Client, ref []float64, mu float64) []float64 {
-	return p.trainPlanned(c, ref, mu, p.planLocal(rng, c))
+	update := p.trainPlanned(c, ref, mu, p.planLocal(rng, c))
+	p.corrupt(c, ref, update)
+	return update
 }
 
 // TrainClients runs the local updates of the selected clients from the
@@ -412,6 +474,7 @@ func (p *Population) TrainClients(rng *rand.Rand, sel []*Client, ref []float64, 
 		for i, c := range sel {
 			updates[i] = p.trainPlanned(c, ref, mu, plans[i])
 		}
+		p.corruptAll(sel, ref, updates)
 		return updates
 	}
 	// Work-stealing over client indices: shard sizes (and therefore local
@@ -432,7 +495,31 @@ func (p *Population) TrainClients(rng *rand.Rand, sel []*Client, ref []float64, 
 		}()
 	}
 	wg.Wait()
+	p.corruptAll(sel, ref, updates)
 	return updates
+}
+
+// corruptAll applies the adversary to a finished round's updates in
+// selection order — after the parallel fan-in, because corruption mutates
+// shared per-client adversary state (drift accumulators, rngs).
+func (p *Population) corruptAll(sel []*Client, ref []float64, updates [][]float64) {
+	if p.adversary() == nil {
+		return
+	}
+	for i, c := range sel {
+		p.corrupt(c, ref, updates[i])
+	}
+}
+
+// aggregate mixes one synchronous round's updates: the legacy
+// sample-weighted mean when no robust aggregator is configured (the
+// byte-identical path), the configured Byzantine-resilient mixer otherwise.
+// ref is the model the updates were trained from.
+func (c Config) aggregate(ref []float64, updates [][]float64, weights []float64) []float64 {
+	if c.Robust == nil {
+		return WeightedAverage(updates, weights)
+	}
+	return c.Robust.Aggregate(ref, updates, weights)
 }
 
 // WeightedAverage aggregates weight vectors with the given weights

@@ -1,0 +1,121 @@
+package robust
+
+import (
+	"math"
+	"sort"
+)
+
+// NormTracker maintains a trailing window of accepted update norms and
+// derives an adaptive outlier threshold from their median + k·MAD (the MAD
+// scaled by 1.4826 to estimate a standard deviation). Both the flnet ingest
+// gate and the FedAsync staleness-aware clip consume it: observe the norm
+// of every accepted update, ask Threshold before admitting the next one.
+//
+// The threshold is floored at 2× the window median so that ties or
+// near-constant honest norms (MAD ≈ 0) never squeeze the gate onto honest
+// traffic, and the tracker reports not-ready until warmup observations have
+// arrived — a cold gate rejects nothing.
+//
+// NormTracker is not safe for concurrent use; callers hold their own lock
+// (the flnet server observes under s.mu, the simulator is single-threaded
+// at mix time).
+type NormTracker struct {
+	window []float64
+	next   int
+	filled int
+	seen   int
+	warmup int
+	k      float64
+	sorted []float64
+}
+
+// NewNormTracker returns a tracker over a trailing window of the given
+// size, requiring warmup observations before Threshold reports ready, with
+// outlier multiplier k (threshold = median + k·1.4826·MAD). Non-positive
+// arguments take the defaults: window 64, warmup 16, k 6.
+func NewNormTracker(window, warmup int, k float64) *NormTracker {
+	if window <= 0 {
+		window = 64
+	}
+	if warmup <= 0 {
+		warmup = 16
+	}
+	if k <= 0 {
+		k = 6
+	}
+	return &NormTracker{
+		window: make([]float64, window),
+		warmup: warmup,
+		k:      k,
+		sorted: make([]float64, 0, window),
+	}
+}
+
+// Observe records an accepted update's norm. Non-finite or negative values
+// are ignored — the tracker only ever learns from updates that passed
+// validation.
+func (t *NormTracker) Observe(norm float64) {
+	if t == nil || math.IsNaN(norm) || math.IsInf(norm, 0) || norm < 0 {
+		return
+	}
+	t.window[t.next] = norm
+	t.next = (t.next + 1) % len(t.window)
+	if t.filled < len(t.window) {
+		t.filled++
+	}
+	t.seen++
+}
+
+// Ready reports whether warmup observations have arrived and thresholds are
+// meaningful.
+func (t *NormTracker) Ready() bool { return t != nil && t.seen >= t.warmup }
+
+// Threshold returns the current admission threshold
+// max(median + k·1.4826·MAD, 2·median) and true, or (0, false) while the
+// tracker is still warming up.
+func (t *NormTracker) Threshold() (float64, bool) {
+	med, mad, ok := t.stats()
+	if !ok {
+		return 0, false
+	}
+	th := med + t.k*1.4826*mad
+	if floor := 2 * med; th < floor {
+		th = floor
+	}
+	return th, true
+}
+
+// StaleThreshold is the staleness-aware variant for async mixing: the base
+// threshold shrinks as 1/(1+staleness) — a stale update must be closer to
+// typical to pass — but never below the 2·median floor, so honest stragglers
+// are not clipped just for being late.
+func (t *NormTracker) StaleThreshold(staleness float64) (float64, bool) {
+	med, mad, ok := t.stats()
+	if !ok {
+		return 0, false
+	}
+	th := med + t.k*1.4826*mad
+	if staleness > 0 {
+		th /= 1 + staleness
+	}
+	if floor := 2 * med; th < floor {
+		th = floor
+	}
+	return th, true
+}
+
+// stats computes the window median and MAD, reporting false during warmup.
+func (t *NormTracker) stats() (med, mad float64, ok bool) {
+	if !t.Ready() || t.filled == 0 {
+		return 0, 0, false
+	}
+	t.sorted = append(t.sorted[:0], t.window[:t.filled]...)
+	sort.Float64s(t.sorted)
+	med = medianSorted(t.sorted)
+	for i, v := range t.sorted {
+		t.sorted[i] = math.Abs(v - med)
+	}
+	sort.Float64s(t.sorted)
+	mad = medianSorted(t.sorted)
+	return med, mad, true
+}

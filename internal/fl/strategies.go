@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 
+	"ecofl/internal/fl/robust"
 	"ecofl/internal/metrics"
 	"ecofl/internal/obs/journal"
 	"ecofl/internal/sim"
@@ -49,6 +50,12 @@ type RunResult struct {
 	// online transitions observed at selection time.
 	ChurnDepartures int
 	Readmissions    int
+	// Corrupted counts client updates the configured adversary corrupted
+	// before aggregation saw them (Config.Adversary); Clipped counts async
+	// mix-ins whose delta was bounded by the staleness-aware norm clip
+	// (FedAsync path, armed by Config.Robust).
+	Corrupted int
+	Clipped   int
 
 	// rm are the run's instruments on the metrics Default registry.
 	rm *runMetrics
@@ -189,7 +196,7 @@ func RunFedAvg(pop *Population) *RunResult {
 				res.Participation[c.ID]++
 			}
 			updates := pop.TrainClients(rng, cut.committee, w, 0) // plain FedAvg: no proximal term
-			w = WeightedAverage(updates, weights)
+			w = cfg.aggregate(w, updates, weights)
 			res.rm.selected.Add(int64(len(cut.committee)))
 		}
 		if tr != nil {
@@ -210,6 +217,7 @@ func RunFedAvg(pop *Population) *RunResult {
 			lastEval = t
 		}
 	}
+	res.Corrupted = pop.Corruptions()
 	return res
 }
 
@@ -234,6 +242,15 @@ func RunFedAsync(pop *Population) *RunResult {
 	w := pop.GlobalInit()
 	dyn := dynamics{next: cfg.DynamicInterval, cfg: cfg}
 	ch := newChurnState(cfg, res)
+	// With a robust config attached, async mix-ins pass a staleness-aware
+	// norm clip: the trailing median+MAD of accepted delta norms bounds each
+	// new delta, tighter for staler updates (see robust.NormTracker). The
+	// tracker's 2×median floor keeps honest traffic unclipped, so a clean
+	// run's curve stays byte-identical — pinned by test.
+	var clip *robust.NormTracker
+	if cfg.Robust != nil {
+		clip = robust.NewNormTracker(0, 0, 0)
+	}
 
 	var eng sim.Engine
 	version := 0
@@ -272,6 +289,17 @@ func RunFedAsync(pop *Population) *RunResult {
 			update := pop.LocalTrain(rng, c, snapshot, 0)
 			res.Participation[c.ID]++
 			stale := float64(version - baseVersion)
+			if clip != nil {
+				norm := robust.DeltaNorm(update, snapshot)
+				if max, ok := clip.StaleThreshold(stale); ok && norm > max {
+					robust.ClipDelta(update, snapshot, max)
+					norm = max
+					res.Clipped++
+					res.rm.clips.Inc()
+					cfg.Journal.RecordAt(finish, "fl.norm-clip", version, c.ID)
+				}
+				clip.Observe(norm)
+			}
 			alpha := StalenessAlpha(cfg.Alpha, stale, 1.0)
 			AsyncMix(w, update, alpha)
 			version++
@@ -298,6 +326,7 @@ func RunFedAsync(pop *Population) *RunResult {
 		dispatch()
 	}
 	eng.Run(0)
+	res.Corrupted = pop.Corruptions()
 	return res
 }
 
@@ -454,7 +483,7 @@ func RunHierarchical(pop *Population, opts HierOptions) *RunResult {
 				res.Participation[c.ID]++
 			}
 			updates := pop.TrainClients(rng, cut.committee, ref, cfg.Mu)
-			groupW := WeightedAverage(updates, weights)
+			groupW := cfg.aggregate(ref, updates, weights)
 			copy(groupModel[g], groupW)
 			res.Rounds++
 			res.rm.rounds.Inc()
@@ -517,5 +546,6 @@ func RunHierarchical(pop *Population, opts HierOptions) *RunResult {
 			res.Dropped++
 		}
 	}
+	res.Corrupted = pop.Corruptions()
 	return res
 }

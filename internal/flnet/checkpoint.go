@@ -13,6 +13,7 @@ package flnet
 import (
 	"encoding/gob"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -149,6 +150,14 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	}
 	if ck.Format != checkpointFormat {
 		return nil, fmt.Errorf("flnet: checkpoint %s has format %d, want %d", path, ck.Format, checkpointFormat)
+	}
+	// A checkpoint holding NaN/Inf weights is poison, not state: the live
+	// ingest gate keeps non-finite values out of the model, so a non-finite
+	// checkpoint is corrupt (or predates the gate) and must not be re-served.
+	for i, v := range ck.Weights {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("flnet: corrupt checkpoint %s: weight %d is non-finite (%v)", path, i, v)
+		}
 	}
 	if ck.LastSeq == nil {
 		ck.LastSeq = make(map[int]uint64)

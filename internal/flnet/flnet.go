@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"ecofl/internal/fl"
+	"ecofl/internal/fl/robust"
 	"ecofl/internal/flnet/wire"
 	"ecofl/internal/obs/journal"
 	"ecofl/internal/tensor"
@@ -128,6 +129,19 @@ type ServerOptions struct {
 	// deterministic lease tests and virtual-time scenario runs inject their
 	// own clock and call ReapExpiredLeases explicitly.
 	LeaseNow func() time.Time
+
+	// NormGate arms the adaptive L2 update-norm half of the semantic ingest
+	// gate: the server tracks a trailing median+MAD of accepted push delta
+	// norms (robust.NormTracker) and quarantines pushes whose displacement
+	// is an outlier against it. Finiteness validation is always on — a NaN
+	// or Inf can never reach the model regardless of this option.
+	NormGate bool
+	// NormGateK is the gate's MAD multiplier (threshold = median +
+	// K·1.4826·MAD, floored at 2·median). 0 means 6.
+	NormGateK float64
+	// NormGateWarmup is how many accepted pushes seed the tracker before
+	// the gate starts quarantining. 0 means 16.
+	NormGateWarmup int
 }
 
 // DefaultTimeout is the default per-round-trip deadline on both ends.
@@ -193,6 +207,10 @@ type Server struct {
 	lastSeq map[int]uint64 // highest applied push Seq per client
 	lastAck map[int]reply  // dedup window: the ack for lastSeq per client
 	deduped int
+	// Semantic ingest gate state: the adaptive norm tracker (nil unless
+	// opts.NormGate) and the count of pushes acked but quarantined.
+	normGate    *robust.NormTracker
+	quarantined int
 }
 
 // NewServer creates a server holding the initial global weights and starts
@@ -225,9 +243,20 @@ func NewServerOpts(ln net.Listener, init []float64, opts ServerOptions) (*Server
 		leases:       make(map[int]*lease),
 	}
 	s.fleet.journal = opts.Journal
+	if opts.NormGate {
+		s.normGate = robust.NewNormTracker(0, opts.NormGateWarmup, opts.NormGateK)
+	}
 	if ck := opts.Resume; ck != nil {
 		if len(init) != 0 && len(ck.Weights) != len(init) {
 			return nil, fmt.Errorf("flnet: checkpoint has %d weights, model has %d", len(ck.Weights), len(init))
+		}
+		// Fail closed on a poisoned checkpoint: resuming non-finite weights
+		// would re-serve the poison to every client the ingest gate exists
+		// to protect.
+		for i, v := range ck.Weights {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("flnet: checkpoint weight %d is non-finite (%v), refusing to resume a poisoned model", i, v)
+			}
 		}
 		s.weights = append([]float64(nil), ck.Weights...)
 		s.version = ck.Version
@@ -536,10 +565,38 @@ func (s *Server) applyPushLocked(req *request) (rep reply, applied bool) {
 		// ack with the current model, which is at least as fresh.
 		return reply{Weights: append([]float64(nil), s.weights...), Version: s.version}, false
 	}
+	norm, reason := s.screenLocked(req)
+	if reason != "" {
+		// Semantically poisonous but protocol-valid: ack the client with the
+		// current snapshot (an honest-but-buggy sender resumes from clean
+		// state; a retry dedups) and leave the model untouched. The version
+		// and push counters don't move — a quarantined push never happened
+		// as far as mixing is concerned.
+		s.quarantined++
+		switch reason {
+		case "norm":
+			srvQuarNorm.Inc()
+		default:
+			srvQuarNonFinite.Inc()
+		}
+		s.jrec().Record("push.quarantine", s.version, req.ClientID, "reason", reason)
+		rep = reply{Weights: append([]float64(nil), s.weights...), Version: s.version}
+		if req.Seq > 0 {
+			s.lastSeq[req.ClientID] = req.Seq
+			s.lastAck[req.ClientID] = rep
+		}
+		return rep, false
+	}
 	if err := s.applyLocked(req); err != nil {
 		srvPushErrors.Inc()
 		s.jrec().Record("push.reject", s.version, req.ClientID, "err", journalErr(err))
 		return reply{Err: err.Error()}, false
+	}
+	if s.normGate != nil && norm >= 0 {
+		s.normGate.Observe(norm)
+		if th, ok := s.normGate.Threshold(); ok {
+			srvNormGateThreshold.Set(th)
+		}
 	}
 	s.jrec().Record("push.apply", s.version, req.ClientID,
 		"seq", strconv.FormatUint(req.Seq, 10))
@@ -549,6 +606,92 @@ func (s *Server) applyPushLocked(req *request) (rep reply, applied bool) {
 		s.lastAck[req.ClientID] = rep
 	}
 	return rep, true
+}
+
+// screenLocked is the semantic last gate before training state: it judges a
+// push's payload values (where applyLocked and sparseRefLocked judge its
+// shape and protocol). It returns the update's L2 displacement norm against
+// the reference it will mix over (−1 when the shape is wrong — those fall
+// through to applyLocked's hard errors) and a non-empty quarantine reason
+// for semantically poisonous payloads: "non-finite" for NaN/Inf values in
+// any codec, "norm" when the armed gate finds the displacement an outlier
+// against the trailing accepted-norm distribution. Caller holds s.mu.
+func (s *Server) screenLocked(req *request) (norm float64, reason string) {
+	n := len(s.weights)
+	norm = -1
+	switch {
+	case req.Weights != nil:
+		if len(req.Weights) != n {
+			return norm, ""
+		}
+		var sum float64
+		for i, v := range req.Weights {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return norm, "non-finite"
+			}
+			d := v - s.weights[i]
+			sum += d * d
+		}
+		norm = math.Sqrt(sum)
+	case req.Quant != nil:
+		q := req.Quant
+		if len(q.Data) != n {
+			return norm, ""
+		}
+		// The whole dequantized range is spanned by Min and Min+255·Scale:
+		// both finite ⇒ every value finite. The binary codec already rejects
+		// non-finite params, but the same fields arrive unchecked via gob.
+		lo, hi := q.Min, q.Min+255*q.Scale
+		if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(hi) || math.IsInf(hi, 0) {
+			return norm, "non-finite"
+		}
+		var sum float64
+		for i, b := range q.Data {
+			d := q.Min + float64(b)*q.Scale - s.weights[i]
+			sum += d * d
+		}
+		norm = math.Sqrt(sum)
+	case req.SparseIdx != nil || req.DenseLen > 0:
+		if req.DenseLen != n || len(req.SparseIdx) != len(req.SparseVals) {
+			return norm, ""
+		}
+		prev := int64(-1)
+		for _, ix := range req.SparseIdx {
+			if int64(ix) <= prev || int(ix) >= n {
+				return norm, ""
+			}
+			prev = int64(ix)
+		}
+		for _, v := range req.SparseVals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return norm, "non-finite"
+			}
+		}
+		ack, ok := s.lastAck[req.ClientID]
+		if !ok || ack.Version != req.BaseVersion || len(ack.Weights) != n {
+			return norm, "" // base mismatch: sparseRefLocked's re-sync path
+		}
+		var sum float64
+		for k, ix := range req.SparseIdx {
+			d := req.SparseVals[k] - ack.Weights[ix]
+			sum += d * d
+		}
+		norm = math.Sqrt(sum)
+	}
+	if s.normGate != nil && norm >= 0 {
+		if th, ok := s.normGate.Threshold(); ok && norm > th {
+			return norm, "norm"
+		}
+	}
+	return norm, ""
+}
+
+// Quarantined reports how many pushes were acked but quarantined by the
+// semantic ingest gate.
+func (s *Server) Quarantined() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined
 }
 
 // journalErr truncates an error for use as a journal attr: the timeline

@@ -6,6 +6,7 @@ import (
 	"math"
 	"testing"
 
+	"ecofl/internal/fl/robust"
 	"ecofl/internal/obs"
 )
 
@@ -65,6 +66,19 @@ func FuzzRequestDecode(f *testing.F) {
 		SparseIdx: []uint32{0}, SparseVals: []float64{1}, NumSamples: 1}))
 	f.Add(seed(&request{Kind: "push", ClientID: 1, Seq: 1, DenseLen: 2,
 		SparseIdx: []uint32{0, 1}, SparseVals: []float64{1}, NumSamples: 1}))
+	// Semantic poison via gob (the binary codec rejects these at parse time,
+	// so applyPush's screen is the only gate): non-finite dense and quantized
+	// payloads, and an oversized-norm dense update for the adaptive gate.
+	f.Add(seed(&request{Kind: "push", ClientID: 4, Seq: 1,
+		Weights: []float64{math.NaN(), 0}, NumSamples: 1}))
+	f.Add(seed(&request{Kind: "push", ClientID: 4, Seq: 1,
+		Weights: []float64{math.Inf(-1), 1}, NumSamples: 1}))
+	f.Add(seed(&request{Kind: "push", ClientID: 4, Seq: 1, NumSamples: 1,
+		Quant: &Quantized{Min: math.NaN(), Scale: 1, Data: []uint8{1, 2}}}))
+	f.Add(seed(&request{Kind: "push", ClientID: 4, Seq: 1, NumSamples: 1,
+		Quant: &Quantized{Min: 1e308, Scale: 1e306, Data: []uint8{255, 255}}}))
+	f.Add(seed(&request{Kind: "push", ClientID: 5, Seq: 1,
+		Weights: []float64{1e30, -1e30}, NumSamples: 1}))
 	// The retry wire patterns: the same Seq pushed twice back to back (an ack
 	// lost in flight), and a stale straggler Seq after a newer one landed.
 	f.Add(seed(
@@ -88,10 +102,11 @@ func FuzzRequestDecode(f *testing.F) {
 		// touch the listener or connection set.
 		s := &Server{
 			Alpha: 0.5, StalenessExp: 1,
-			fleet:   newFleet(),
-			weights: []float64{0, 0},
-			lastSeq: make(map[int]uint64),
-			lastAck: make(map[int]reply),
+			fleet:    newFleet(),
+			weights:  []float64{0, 0},
+			lastSeq:  make(map[int]uint64),
+			lastAck:  make(map[int]reply),
+			normGate: robust.NewNormTracker(8, 4, 6),
 		}
 		dec := gob.NewDecoder(bytes.NewReader(raw))
 		for n := 0; n < 64; n++ {
@@ -116,6 +131,13 @@ func FuzzRequestDecode(f *testing.F) {
 		}
 		if s.version != s.pushes {
 			t.Fatalf("version %d != accepted pushes %d", s.version, s.pushes)
+		}
+		// The semantic gate's core invariant: no byte stream, via any codec,
+		// leaves a non-finite value in the model.
+		for i, v := range s.weights {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("model weight %d is non-finite (%v) after fuzz input", i, v)
+			}
 		}
 	})
 }

@@ -106,6 +106,17 @@ var (
 	cliLeaseResyncs = metrics.GetCounter("ecofl_flnet_client_lease_resyncs_total",
 		"pushes retried after a lease-expired rejection re-admitted the client")
 
+	// Semantic ingest validation (the Byzantine last gate): pushes that
+	// decoded fine but carried poison — non-finite values or an outlier
+	// update norm — are acked and quarantined rather than mixed, and the
+	// adaptive gate's current threshold is published for /dash.
+	srvQuarNonFinite = metrics.GetCounter("ecofl_flnet_server_quarantined_pushes_total",
+		"pushes acked but quarantined by semantic validation", "reason", "non-finite")
+	srvQuarNorm = metrics.GetCounter("ecofl_flnet_server_quarantined_pushes_total",
+		"pushes acked but quarantined by semantic validation", "reason", "norm")
+	srvNormGateThreshold = metrics.GetGauge("ecofl_flnet_server_norm_gate_threshold",
+		"current adaptive L2 norm-gate admission threshold (0 until warm)")
+
 	cliWireFallbacks = metrics.GetCounter("ecofl_flnet_client_wire_fallbacks_total",
 		"binary hellos rejected, latching the client into gob")
 	cliSparseFallbacks = metrics.GetCounter("ecofl_flnet_client_sparse_fallbacks_total",

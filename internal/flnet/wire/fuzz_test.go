@@ -53,6 +53,22 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add(frame(Header{Kind: KindPush, Codec: CodecSparse, Seq: 1}, nanSparse, nil))
 	oobSparse := AppendSparse(nil, 4, []uint32{9}, []float64{1})
 	f.Add(frame(Header{Kind: KindPush, Codec: CodecSparse, Seq: 1}, oobSparse, nil))
+	// Semantic poison the transport is allowed to carry (raw floats are not
+	// judged at parse time — the server's ingest gate is) plus quant frames
+	// whose parameters are non-finite directly or only once dequantized:
+	// min + 255·scale overflowing to the edge of the float64 range.
+	nanRaw := AppendRaw(nil, []float64{math.NaN(), 1, -2})
+	f.Add(frame(Header{Kind: KindPush, Codec: CodecRaw, Seq: 5}, nanRaw, nil))
+	infRaw := AppendRaw(nil, []float64{math.Inf(1), 0})
+	f.Add(frame(Header{Kind: KindPush, Codec: CodecRaw, Seq: 6}, infRaw, nil))
+	hugeRaw := AppendRaw(nil, []float64{1e308, -1e308, 1e308})
+	f.Add(frame(Header{Kind: KindPush, Codec: CodecRaw, Seq: 7}, hugeRaw, nil))
+	nanQuant := AppendQuant(nil, math.NaN(), 0.5, []uint8{1, 2})
+	f.Add(frame(Header{Kind: KindPush, Codec: CodecQuant, Seq: 8}, nanQuant, nil))
+	infQuant := AppendQuant(nil, math.Inf(-1), 1, []uint8{0})
+	f.Add(frame(Header{Kind: KindPush, Codec: CodecQuant, Seq: 9}, infQuant, nil))
+	overflowQuant := AppendQuant(nil, 1e308, 1e306, []uint8{255, 255})
+	f.Add(frame(Header{Kind: KindPush, Codec: CodecQuant, Seq: 10}, overflowQuant, nil))
 	f.Add([]byte{})
 	f.Add([]byte("EFLB"))
 

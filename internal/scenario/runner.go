@@ -13,6 +13,7 @@ import (
 	"ecofl/internal/device"
 	"ecofl/internal/experiments"
 	"ecofl/internal/fl"
+	"ecofl/internal/fl/robust"
 	"ecofl/internal/flnet"
 	"ecofl/internal/metrics"
 	"ecofl/internal/obs/journal"
@@ -278,6 +279,24 @@ func runFL(spec *Spec, rep *Report, rs *metrics.RuntimeSampler, jn journals) err
 		}
 		cfg.Churn = traces
 	}
+	if spec.Attack.enabled() {
+		if spec.Attack.Fraction > 0 {
+			// Seed 0 derives the adversary's own rng lane from cfg.Seed, so
+			// the compromised set is reproducible per scenario seed.
+			cfg.Adversary = &fl.Adversary{
+				Fraction: spec.Attack.Fraction,
+				Mode:     spec.Attack.Mode,
+				Scale:    spec.Attack.Scale,
+			}
+		}
+		if name := spec.Attack.Defense.Aggregator; name != "" {
+			agg, err := robust.ByName(name, spec.Attack.Defense.Trim)
+			if err != nil {
+				return err
+			}
+			cfg.Robust = agg
+		}
+	}
 	pop := experiments.BuildPopulation(spec.Seed, dataset(spec), scaleFromSpec(spec), cfg)
 	before := snapshotMap(metrics.Default)
 	r, err := fl.RunByName(pop, spec.Agg.Strategy)
@@ -300,6 +319,10 @@ func runFL(spec *Spec, rep *Report, rs *metrics.RuntimeSampler, jn journals) err
 	if spec.Churn.enabled() {
 		rep.setMetric("churn_departures", float64(r.ChurnDepartures))
 		rep.setMetric("readmissions", float64(r.Readmissions))
+	}
+	if spec.Attack.enabled() {
+		rep.setMetric("adversary_corruptions", float64(r.Corrupted))
+		rep.setMetric("norm_clipped", float64(r.Clipped))
 	}
 	if r.AvgJS > 0 || r.AvgLatency > 0 {
 		rep.setMetric("avg_group_js", r.AvgJS)
@@ -339,6 +362,16 @@ const (
 // not the training stream, and push dedup keeps retried updates exactly-once.
 func runFLNet(spec *Spec, rep *Report, rs *metrics.RuntimeSampler, jn journals) error {
 	cfg := flConfigFromSpec(spec)
+	if spec.Attack.Fraction > 0 {
+		// pop.LocalTrain corrupts compromised clients' updates before they
+		// ever reach the wire, so the attack exercises the server's ingest
+		// gate with exactly what a hijacked client process would send.
+		cfg.Adversary = &fl.Adversary{
+			Fraction: spec.Attack.Fraction,
+			Mode:     spec.Attack.Mode,
+			Scale:    spec.Attack.Scale,
+		}
+	}
 	pop := experiments.BuildPopulation(spec.Seed, dataset(spec), scaleFromSpec(spec), cfg)
 	alpha := spec.Agg.Alpha
 	if alpha == 0 {
@@ -358,7 +391,8 @@ func runFLNet(spec *Spec, rep *Report, rs *metrics.RuntimeSampler, jn journals) 
 	if err != nil {
 		return err
 	}
-	srvOpts := flnet.ServerOptions{Alpha: alpha, Journal: jn.fleet}
+	srvOpts := flnet.ServerOptions{Alpha: alpha, Journal: jn.fleet,
+		NormGate: spec.Attack.Defense.NormGate}
 	var clock *leaseClock
 	if ttl := spec.Churn.LeaseTTLS; ttl > 0 {
 		// Lease-based membership on the virtual clock: the round loop advances
@@ -505,6 +539,12 @@ func runFLNet(spec *Spec, rep *Report, rs *metrics.RuntimeSampler, jn journals) 
 	}
 	if spec.Churn.enabled() {
 		rep.setMetric("offline_skips", float64(offlineSkips))
+	}
+	if spec.Attack.enabled() {
+		rep.setMetric("adversary_corruptions", float64(pop.Corruptions()))
+		rep.setMetric("quarantined_pushes",
+			counterDelta(before, after, `ecofl_flnet_server_quarantined_pushes_total{reason="non-finite"}`)+
+				counterDelta(before, after, `ecofl_flnet_server_quarantined_pushes_total{reason="norm"}`))
 	}
 	if clock != nil {
 		rep.setMetric("lease_expired", counterDelta(before, after, "ecofl_flnet_lease_expired_total"))

@@ -257,3 +257,73 @@ func TestRunFLNetWithChaos(t *testing.T) {
 		t.Fatalf("chaos run lost curve points: %d", len(rep.Curve))
 	}
 }
+
+// TestRunFLWithAttack runs the fl topology under a 30% sign-flip adversary
+// with a median defense: corruptions are injected and surfaced as metrics.
+func TestRunFLWithAttack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fl attack smoke is not -short")
+	}
+	spec, err := Parse([]byte(`{
+	  "name": "fl-attack",
+	  "topology": "fl",
+	  "seed": 5,
+	  "fleet": {"clients": 8, "dataset_size": 300, "max_concurrent": 4, "local_epochs": 1,
+	            "mean_delay_s": 40, "std_delay_s": 12},
+	  "aggregation": {"strategy": "fedavg", "mu": 0.05},
+	  "attack": {"fraction": 0.3, "mode": "sign-flip", "scale": 4,
+	             "defense": {"aggregator": "median"}},
+	  "run": {"duration_s": 300, "eval_interval_s": 60}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"final_accuracy", "adversary_corruptions", "norm_clipped"} {
+		if _, ok := rep.Metrics[name]; !ok {
+			t.Errorf("attack report missing %s (have %v)", name, rep.MetricNames())
+		}
+	}
+	if rep.Metrics["adversary_corruptions"] <= 0 {
+		t.Errorf("30%% adversary corrupted nothing: %+v", rep.Metrics)
+	}
+}
+
+// TestRunFLNetWithAttackNormGate pushes NaN-corrupted updates through the
+// real transport with the server's norm gate armed: poisoned pushes are
+// quarantined, the model stays finite, and the run completes cleanly.
+func TestRunFLNetWithAttackNormGate(t *testing.T) {
+	spec, err := Parse([]byte(`{
+	  "name": "flnet-attack",
+	  "topology": "flnet",
+	  "seed": 11,
+	  "fleet": {"clients": 4, "dataset_size": 200, "local_epochs": 1},
+	  "aggregation": {"alpha": 0.5},
+	  "wire": {"codec": "raw", "mode": "binary"},
+	  "attack": {"fraction": 0.5, "mode": "nan",
+	             "defense": {"norm_gate": true}},
+	  "run": {"rounds": 6}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics["adversary_corruptions"] <= 0 {
+		t.Errorf("50%% nan adversary corrupted nothing: %+v", rep.Metrics)
+	}
+	if rep.Metrics["quarantined_pushes"] <= 0 {
+		t.Errorf("NaN pushes were not quarantined: %+v", rep.Metrics)
+	}
+	if rep.Metrics["push_failures"] > 0 {
+		t.Errorf("quarantine must ack, not error: %v push failures", rep.Metrics["push_failures"])
+	}
+	if f, ok := rep.Metrics["final_accuracy"]; !ok || f <= 0 {
+		t.Errorf("attacked flnet run produced no usable model: final %v", f)
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"os"
 	"time"
 
+	"ecofl/internal/fl"
+	"ecofl/internal/fl/robust"
 	"ecofl/internal/simnet"
 )
 
@@ -50,9 +52,48 @@ type Spec struct {
 	Wire     WireSpec     `json:"wire,omitempty"`
 	Faults   []FaultSpec  `json:"faults,omitempty"`
 	Churn    ChurnSpec    `json:"churn,omitempty"`
+	Attack   AttackSpec   `json:"attack,omitempty"`
 	Run      RunSpec      `json:"run"`
 	Pipeline PipelineSpec `json:"pipeline,omitempty"`
 	Journal  JournalSpec  `json:"journal,omitempty"`
+}
+
+// AttackSpec injects Byzantine clients into the run and selects the defense
+// posture. A seeded fraction of the fleet corrupts every update it would
+// otherwise send honestly (fl.Adversary); the defense block picks the robust
+// in-group mixer (fl topology) and the server's adaptive norm gate (flnet
+// topology). The zero value disables both attack and defense.
+type AttackSpec struct {
+	// Fraction of the fleet compromised, in [0, 1]. 0 disables the attack
+	// (a defense may still be attached — the nop-discipline configuration).
+	Fraction float64 `json:"fraction,omitempty"`
+	// Mode is one of fl.AdversaryModes(): sign-flip, noise, zero, nan,
+	// drift. Required whenever fraction is positive.
+	Mode string `json:"mode,omitempty"`
+	// Scale is the corruption gain (mode-specific; 0 means 1).
+	Scale   float64     `json:"scale,omitempty"`
+	Defense DefenseSpec `json:"defense,omitempty"`
+}
+
+// DefenseSpec selects the countermeasures.
+type DefenseSpec struct {
+	// Aggregator is one of robust.Names(): mean, median, trimmed,
+	// norm-clip, krum. Empty keeps the legacy weighted mean. fl topology
+	// only — the flnet server's asynchronous mixer is defended by the norm
+	// gate instead.
+	Aggregator string `json:"aggregator,omitempty"`
+	// Trim parameterizes the trimmed mean (fraction cut per tail,
+	// in [0, 0.5)); 0 means the aggregator's default.
+	Trim float64 `json:"trim,omitempty"`
+	// NormGate arms the flnet server's adaptive update-norm gate
+	// (quarantine pushes whose delta norm is an outlier against the
+	// trailing honest distribution). flnet topology only.
+	NormGate bool `json:"norm_gate,omitempty"`
+}
+
+// enabled reports whether the spec attacks the run or arms any defense.
+func (a AttackSpec) enabled() bool {
+	return a.Fraction > 0 || a.Defense.Aggregator != "" || a.Defense.NormGate
 }
 
 // Churn model names accepted by ChurnSpec.Model.
@@ -262,6 +303,9 @@ func (s *Spec) Validate() error {
 	if err := s.Churn.validate(s.Topology); err != nil {
 		return err
 	}
+	if err := s.Attack.validate(s.Topology); err != nil {
+		return err
+	}
 	if err := s.Run.validate(s.Topology); err != nil {
 		return err
 	}
@@ -405,6 +449,48 @@ func (c ChurnSpec) validate(topology string) error {
 	}
 	if c.LeaseTTLS < 0 {
 		return fmt.Errorf("churn.lease_ttl_s must not be negative (got %g)", c.LeaseTTLS)
+	}
+	return nil
+}
+
+func (a AttackSpec) validate(topology string) error {
+	if !a.enabled() {
+		if a.Mode != "" || a.Scale != 0 || a.Defense.Trim != 0 {
+			return fmt.Errorf("attack parameters set without attack.fraction or a defense (mode %q, scale %g, trim %g)",
+				a.Mode, a.Scale, a.Defense.Trim)
+		}
+		return nil
+	}
+	if topology == TopologyPipeline {
+		return fmt.Errorf("attack is not supported on the pipeline topology")
+	}
+	if a.Fraction < 0 || a.Fraction > 1 {
+		return fmt.Errorf("attack.fraction must be in [0, 1] (got %g)", a.Fraction)
+	}
+	if a.Fraction > 0 {
+		if a.Mode == "" {
+			return fmt.Errorf("attack.mode must be set when attack.fraction is positive (%v)", fl.AdversaryModes())
+		}
+		if !fl.ValidAdversaryMode(a.Mode) {
+			return fmt.Errorf("unknown attack.mode %q (%v)", a.Mode, fl.AdversaryModes())
+		}
+	}
+	if a.Scale < 0 {
+		return fmt.Errorf("attack.scale must not be negative (got %g)", a.Scale)
+	}
+	if d := a.Defense; d.Aggregator != "" {
+		if topology != TopologyFL {
+			return fmt.Errorf("attack.defense.aggregator is only supported on the fl topology (the flnet server is defended by the norm gate)")
+		}
+		if _, err := robust.ByName(d.Aggregator, d.Trim); err != nil {
+			return fmt.Errorf("attack.defense.aggregator: %w", err)
+		}
+	}
+	if a.Defense.Trim < 0 || a.Defense.Trim >= 0.5 {
+		return fmt.Errorf("attack.defense.trim must be in [0, 0.5) (got %g)", a.Defense.Trim)
+	}
+	if a.Defense.NormGate && topology != TopologyFLNet {
+		return fmt.Errorf("attack.defense.norm_gate is only supported on the flnet topology")
 	}
 	return nil
 }

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Thin wrapper over the scenario harness: runs the example scenarios through
-# `ecofl bench` and writes BENCH_pr9.json in the ecofl/bench-suite/v1 schema
+# `ecofl bench` and writes BENCH_pr10.json in the ecofl/bench-suite/v1 schema
 # (accuracy curve, round-time p50/p95, bytes/push per wire codec, goroutine
 # HWM, peak heap, GC pause tail — per scenario).
 #
@@ -22,7 +22,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_pr9.json}
+out=${1:-BENCH_pr10.json}
 baseline=${2:-}
 
 compare=()
@@ -37,6 +37,7 @@ go run ./cmd/ecofl bench \
 	--scenario examples/scenarios/sparse.json \
 	--scenario examples/scenarios/dropout30.json \
 	--scenario examples/scenarios/churn50.json \
+	--scenario examples/scenarios/byzantine30.json \
 	--scenario examples/scenarios/failover.json \
 	--git-sha "$(git rev-parse --short HEAD)" \
 	--now "$(date +%s)" \

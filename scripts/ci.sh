@@ -23,6 +23,7 @@ go test ./...
 # ./internal/flnet/... recursively covers ./internal/flnet/wire/... (binary
 # frame codecs) alongside the mixed-wire interop and codec chaos soaks.
 go test -race -short ./internal/tensor/... ./internal/fl/... \
+	./internal/fl/robust/... \
 	./internal/metrics/... ./internal/obs/... ./internal/adaptive/... \
 	./internal/flnet/... ./internal/simnet/... ./internal/device/... \
 	./internal/scenario/... ./internal/pipeline/runtime/...
@@ -42,3 +43,11 @@ go run ./cmd/ecofl bench --scenario examples/scenarios/churn50.json \
 	--out /tmp/ecofl_ci_churn.json >/dev/null
 rm -f /tmp/ecofl_ci_churn.json
 echo "churn smoke: ok"
+
+# Byzantine smoke: 30% sign-flip adversaries against the median in-group
+# mixer through the declarative harness — seeded corruption, robust
+# aggregation, and the attack metrics, end to end.
+go run ./cmd/ecofl bench --scenario examples/scenarios/byzantine30.json \
+	--out /tmp/ecofl_ci_byz.json >/dev/null
+rm -f /tmp/ecofl_ci_byz.json
+echo "byzantine smoke: ok"
